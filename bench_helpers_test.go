@@ -1,0 +1,14 @@
+package repro
+
+import (
+	"repro/internal/perf/trace"
+	"repro/internal/xmldom"
+)
+
+// parseForBench parses with instrumentation attached, as the simulated
+// workers do, so BenchmarkXMLParse measures the real per-message host cost.
+func parseForBench(msg []byte) (*xmldom.Node, error) {
+	var c trace.Counting
+	arena := trace.NewArena(1<<32, 1<<20)
+	return xmldom.ParseInstrumented(msg, &c, 0x1000, arena)
+}

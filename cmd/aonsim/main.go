@@ -1,0 +1,150 @@
+// Command aonsim runs the paper's experiments on the simulated machines
+// and prints paper-vs-measured tables plus the qualitative shape checks
+// for every table and figure in the evaluation.
+//
+// Usage:
+//
+//	aonsim -exp all                 # everything (default)
+//	aonsim -exp fig2|table3         # netperf baselines
+//	aonsim -exp fig3|table4|fig4|fig5|table5|table6
+//	aonsim -exp specs               # Table 1 / Table 2
+//	aonsim -msgs 1200 -warmup 200   # measurement sizing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/perf/machine"
+	"repro/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: specs, fig2, table3, fig3, table4, fig4, fig5, table5, table6, ext, all")
+	msgs := flag.Int("msgs", 600, "measured messages per AON run")
+	warm := flag.Int("warmup", 120, "warmup messages per AON run")
+	measureMs := flag.Float64("netperf-ms", 8, "netperf measurement window (simulated ms)")
+	checks := flag.Bool("checks", true, "run the qualitative shape checks")
+	flag.Parse()
+
+	needNetperf := *exp == "all" || *exp == "fig2" || *exp == "table3"
+	needAON := *exp == "all" || *exp == "fig3" || *exp == "table4" ||
+		*exp == "fig4" || *exp == "fig5" || *exp == "table5" || *exp == "table6"
+
+	if *exp == "specs" || *exp == "all" {
+		fmt.Println("Table 1: Specifications of the systems under test")
+		fmt.Println(machine.SpecsTable())
+		fmt.Println("Table 2: Notations for systems under test")
+		for _, id := range machine.AllConfigs {
+			fmt.Printf("  %-5s %s\n", id, id.Explanation())
+		}
+		fmt.Println()
+	}
+
+	var nmx harness.NetperfMatrix
+	if needNetperf {
+		opts := harness.DefaultNetperfOpts
+		opts.MeasureMs = *measureMs
+		fmt.Fprintln(os.Stderr, "running netperf baselines...")
+		nmx = harness.RunNetperfMatrix(opts)
+	}
+	var amx harness.AONMatrix
+	if needAON {
+		opts := harness.DefaultAONOpts
+		opts.MeasureMsgs = *msgs
+		opts.WarmupMsgs = *warm
+		fmt.Fprintln(os.Stderr, "running XML server application matrix...")
+		var err error
+		amx, err = harness.RunAONMatrix(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aonsim:", err)
+			os.Exit(1)
+		}
+	}
+
+	show := func(name string, t harness.Table, cs []harness.ShapeCheck) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Println(t.Render())
+		if *checks && cs != nil {
+			fmt.Println(harness.FormatChecks(cs))
+		}
+	}
+
+	if nmx != nil {
+		show("fig2", harness.Figure2Table(nmx), harness.Figure2Checks(nmx))
+		if *exp == "all" || *exp == "table3" {
+			for _, t := range harness.Table3Tables(nmx) {
+				fmt.Println(t.Render())
+			}
+			if *checks {
+				fmt.Println(harness.FormatChecks(harness.Table3Checks(nmx)))
+			}
+		}
+	}
+	if amx != nil {
+		if *exp == "all" {
+			fmt.Println(harness.ThroughputTable(amx).Render())
+		}
+		show("fig3", harness.Figure3Table(amx), harness.Figure3Checks(amx))
+		show("table4", harness.Table4Table(amx), harness.Table4Checks(amx))
+		show("fig4", harness.Figure4Table(amx), harness.Figure4Checks(amx))
+		show("fig5", harness.Figure5Table(amx), harness.Figure5Checks(amx))
+		show("table5", harness.Table5Table(amx), harness.Table5Checks(amx))
+		show("table6", harness.Table6Table(amx), harness.Table6Checks(amx))
+	}
+
+	if *exp == "ext" || *exp == "all" {
+		runExtensions(*msgs, *warm)
+	}
+
+	if *checks && nmx != nil && amx != nil && *exp == "all" {
+		failed := harness.FailedChecks(harness.AllChecks(nmx, amx))
+		fmt.Printf("shape checks failed: %d\n", len(failed))
+		if len(failed) > 0 {
+			fmt.Println(harness.FormatChecks(failed))
+		}
+	}
+}
+
+// runExtensions reports the paper's future-work operations (DPI, AUTH)
+// and the multicore extension across the dual-processing transitions.
+func runExtensions(msgs, warm int) {
+	opts := harness.DefaultAONOpts
+	opts.MeasureMsgs = msgs
+	opts.WarmupMsgs = warm
+	fmt.Println("Extensions (paper future work, Section 6)")
+	for _, uc := range workload.ExtendedUseCases {
+		fmt.Printf("  %s:", uc)
+		base := map[machine.ConfigID]float64{}
+		for _, id := range machine.AllConfigs {
+			r, err := harness.RunAON(id, uc, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "aonsim:", err)
+				os.Exit(1)
+			}
+			base[id] = r.Mbps
+			fmt.Printf("  %s=%.0fMbps", id, r.Mbps)
+		}
+		fmt.Println()
+		for _, p := range harness.ScalingPairs {
+			fmt.Printf("    scaling %-12s %.2f\n", p.Name, base[p.To]/base[p.From])
+		}
+	}
+	fmt.Println("  multicore (SV):")
+	var first float64
+	for _, id := range []machine.ConfigID{machine.OneCPm, machine.TwoCPm, machine.FourCPm} {
+		r, err := harness.RunAON(id, workload.SV, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aonsim:", err)
+			os.Exit(1)
+		}
+		if first == 0 {
+			first = r.Mbps
+		}
+		fmt.Printf("    %-5s %8.0f Mbps  scaling %.2f\n", id, r.Mbps, r.Mbps/first)
+	}
+}

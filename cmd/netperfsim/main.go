@@ -1,0 +1,51 @@
+// Command netperfsim runs the netperf workalike on one simulated
+// configuration and prints throughput and the counter-derived metrics —
+// the equivalent of one Figure 2 bar plus its Table 3 column.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/netperf"
+	"repro/internal/perf/counters"
+	"repro/internal/perf/machine"
+)
+
+func main() {
+	cfg := flag.String("config", "1CPm", "system under test: 1CPm, 2CPm, 1LPx, 2LPx, 2PPx")
+	mode := flag.String("mode", "loopback", "loopback or end-to-end")
+	ms := flag.Float64("ms", 8, "measurement window (simulated ms)")
+	raw := flag.Bool("raw", false, "dump raw counters")
+	flag.Parse()
+
+	id := machine.ConfigID(*cfg)
+	valid := false
+	for _, c := range machine.AllConfigs {
+		if c == id {
+			valid = true
+		}
+	}
+	if !valid {
+		fmt.Fprintf(os.Stderr, "netperfsim: unknown config %q\n", *cfg)
+		os.Exit(2)
+	}
+	m := netperf.Loopback
+	if *mode == "end-to-end" {
+		m = netperf.EndToEnd
+	} else if *mode != "loopback" {
+		fmt.Fprintf(os.Stderr, "netperfsim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	opts := harness.DefaultNetperfOpts
+	opts.MeasureMs = *ms
+	r := harness.RunNetperf(id, m, opts)
+	fmt.Printf("netperf %s on %s: %.0f Mbps\n", m, id, r.Mbps)
+	fmt.Printf("  %s\n", r.Metrics)
+	if *raw {
+		fmt.Println(counters.Set(r.Raw).Format())
+	}
+}

@@ -1,0 +1,75 @@
+// Command vtunereport runs the XML server application under the sampling
+// profiler — the paper's VTune methodology — and prints the per-CPU
+// utilization and counter timeline for one configuration and use case.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	aon "repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/netsim"
+	"repro/internal/perf/machine"
+	"repro/internal/sim/sched"
+	"repro/internal/vtune"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := flag.String("config", "2CPm", "system under test: 1CPm, 2CPm, 1LPx, 2LPx, 2PPx")
+	ucFlag := flag.String("usecase", "CBR", "FR, CBR or SV")
+	msgs := flag.Int("msgs", 300, "messages to process")
+	intervalUs := flag.Float64("interval-us", 500, "sampling interval (simulated microseconds)")
+	timeline := flag.Bool("timeline", false, "print the full sample timeline")
+	flag.Parse()
+
+	var uc workload.UseCase
+	switch *ucFlag {
+	case "FR":
+		uc = workload.FR
+	case "CBR":
+		uc = workload.CBR
+	case "SV":
+		uc = workload.SV
+	default:
+		fmt.Fprintf(os.Stderr, "vtunereport: unknown use case %q\n", *ucFlag)
+		os.Exit(2)
+	}
+
+	m := machine.New(machine.ConfigID(*cfg), machine.Options{})
+	e := sched.NewEngine(m)
+	rx := netsim.NewLink(m, harness.GigabitBps)
+	tx := netsim.NewLink(m, harness.GigabitBps)
+	nic := netsim.NewNIC(e, e.Space.NewProcess(), rx, tx)
+	s, err := aon.New(e, nic, aon.Config{UseCase: uc})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vtunereport:", err)
+		os.Exit(1)
+	}
+	s.SpawnThreads()
+	aon.NewClient(s, uc, 32).Start()
+
+	prof := vtune.New(e, *intervalUs*1e-6*m.Spec.ClockHz)
+	prof.Start(0)
+	target := uint64(*msgs)
+	e.Run(func(*sched.Engine) bool { return s.Stats.Messages >= target })
+	prof.Stop()
+
+	fmt.Printf("%s %s: processed %d messages in %.2f simulated ms\n",
+		*cfg, uc, s.Stats.Messages, 1e3*m.Seconds(m.MaxNow()))
+	util := prof.Utilization()
+	cpus := make([]int, 0, len(util))
+	for c := range util {
+		cpus = append(cpus, c)
+	}
+	sort.Ints(cpus)
+	for _, c := range cpus {
+		fmt.Printf("  cpu%d mean utilization: %.1f%%\n", c, 100*util[c])
+	}
+	if *timeline {
+		fmt.Println(prof.Report())
+	}
+}

@@ -1,0 +1,68 @@
+// Command xmlbench exercises the XML substrate standalone: it parses an
+// AONBench message, evaluates the CBR routing expression, validates
+// against the purchase-order schema, and reports both functional results
+// and the abstract instruction mix each kernel emits — the raw material
+// behind the paper's Table 5 branch frequencies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	aon "repro/internal/core"
+	"repro/internal/perf/trace"
+	"repro/internal/workload"
+	"repro/internal/xmldom"
+	"repro/internal/xpath"
+	"repro/internal/xsd"
+)
+
+func main() {
+	n := flag.Int("n", 8, "messages to process")
+	expr := flag.String("xpath", aon.RouteExprSource, "XPath expression to evaluate")
+	flag.Parse()
+
+	compiled, err := xpath.Compile(*expr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmlbench:", err)
+		os.Exit(1)
+	}
+	schema := workload.OrderSchema()
+	arena := trace.NewArena(1<<30, 1<<24)
+
+	var parseMix, xpathMix, svMix trace.Counting
+	matches, valid := 0, 0
+	for i := 0; i < *n; i++ {
+		msg := workload.SOAPMessage(i)
+		doc, err := xmldom.ParseInstrumented(msg, &parseMix, 0x10000, arena)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmlbench: message %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		val, err := xpath.NewEvaluator(&xpathMix).EvalString(compiled, doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmlbench: message %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		if val == aon.RouteMatchValue {
+			matches++
+		}
+		if xsd.NewValidator(schema, &svMix).Valid(doc) {
+			valid++
+		}
+	}
+
+	fmt.Printf("processed %d AONBench messages (%d bytes each)\n", *n, workload.MessageBytes)
+	fmt.Printf("  CBR %q matched: %d/%d\n", *expr, matches, *n)
+	fmt.Printf("  SV schema-valid: %d/%d\n", valid, *n)
+	report := func(name string, c trace.Counting) {
+		fmt.Printf("  %-12s instr=%8d loads=%7d stores=%7d branches=%7d (%.1f%% branches, %.1f%% taken)\n",
+			name, c.Instr, c.Loads, c.Stores, c.Branches,
+			100*float64(c.Branches)/float64(c.Instr),
+			100*float64(c.Taken)/float64(c.Branches))
+	}
+	report("parse", parseMix)
+	report("xpath", xpathMix)
+	report("validate", svMix)
+}

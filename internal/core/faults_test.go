@@ -1,0 +1,126 @@
+package aon
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/perf/machine"
+	"repro/internal/sim/sched"
+	"repro/internal/workload"
+)
+
+// Failure injection: the server must absorb malformed traffic — broken
+// HTTP, truncated XML, schema violations — by routing to the error paths,
+// never by wedging the simulation.
+
+// corruptClient injects a deterministic mix of healthy and damaged
+// requests directly through the NIC.
+func corruptClient(s *Server, n int) {
+	payloads := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		raw := workload.HTTPRequest(i, workload.SV)
+		switch i % 5 {
+		case 1: // broken request line
+			raw = append([]byte("GARBAGE NONSENSE\r\n"), raw...)
+		case 2: // truncated XML body (content-length still consistent)
+			raw = bytes.Replace(raw, []byte("</soap:Envelope>"), []byte("<unterminated>>"), 1)
+		case 3: // schema violation
+			raw = bytes.Replace(raw, []byte("<quantity>"), []byte("<quantity>x"), 1)
+		}
+		payloads = append(payloads, raw)
+	}
+	var inject func(now float64, i int)
+	inject = func(now float64, i int) {
+		if i >= len(payloads) {
+			return
+		}
+		p := payloads[i]
+		last := s.NIC.InjectMessage(now, netsim.Chunk{Bytes: len(p), Data: p}, func(t float64, m netsim.Chunk) {
+			s.Deliver(t, m)
+		})
+		inject(last, i+1)
+	}
+	inject(0, 0)
+}
+
+func TestServerSurvivesCorruptTraffic(t *testing.T) {
+	m := machine.New(machine.TwoCPm, machine.Options{})
+	e := sched.NewEngine(m)
+	nic := netsim.NewNIC(e, e.Space.NewProcess(), netsim.NewLink(m, 1e9), netsim.NewLink(m, 1e9))
+	s, err := New(e, nic, Config{UseCase: workload.SV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SpawnThreads()
+
+	const n = 40
+	corruptClient(s, n)
+	e.Run(func(*sched.Engine) bool {
+		// Every injected message is either forwarded or consumed by an
+		// error path; HTTP-level rejects do not count as Messages.
+		return s.Stats.Messages+s.Stats.ParseErrors >= n
+	})
+
+	if s.Stats.ParseErrors == 0 {
+		t.Fatal("no parse errors despite corrupted traffic")
+	}
+	if s.Stats.RoutedError == 0 {
+		t.Fatal("no schema violations routed to the error endpoint")
+	}
+	if s.Stats.ValidationOK == 0 {
+		t.Fatal("healthy messages did not survive")
+	}
+	// 1/5 broken HTTP + 1/5 broken XML -> parse errors; 1/5 schema
+	// violations -> routed errors; 2/5 healthy.
+	if s.Stats.ValidationOK < n/4 {
+		t.Fatalf("only %d healthy messages of %d", s.Stats.ValidationOK, n)
+	}
+}
+
+func TestServerSurvivesTinyAndHugeMessages(t *testing.T) {
+	m := machine.New(machine.OneCPm, machine.Options{})
+	e := sched.NewEngine(m)
+	nic := netsim.NewNIC(e, e.Space.NewProcess(), netsim.NewLink(m, 1e9), netsim.NewLink(m, 1e9))
+	s, err := New(e, nic, Config{UseCase: workload.CBR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SpawnThreads()
+
+	tiny := []byte("POST / HTTP/1.1\r\nContent-Length: 6\r\n\r\n<a>1</")
+	huge := []byte("POST / HTTP/1.1\r\nContent-Length: 120000\r\n\r\n<r>" +
+		string(bytes.Repeat([]byte("<quantity>1</quantity>"), 5000)) + "</r>")
+	// Fix content-length of the huge request.
+	huge = []byte("POST / HTTP/1.1\r\nContent-Length: " +
+		itoa(len(huge)-bytes.Index(huge, []byte("\r\n\r\n"))-4) + "\r\n\r\n" +
+		string(huge[bytes.Index(huge, []byte("\r\n\r\n"))+4:]))
+
+	for _, p := range [][]byte{tiny, huge} {
+		p := p
+		s.NIC.InjectMessage(0, netsim.Chunk{Bytes: len(p), Data: p}, func(t float64, m netsim.Chunk) {
+			s.Deliver(t, m)
+		})
+	}
+	e.Run(func(*sched.Engine) bool {
+		return s.Stats.Messages+s.Stats.ParseErrors+s.Stats.RoutedError >= 2
+	})
+	total := s.Stats.Messages + s.Stats.ParseErrors
+	if total < 2 {
+		t.Fatalf("messages unaccounted for: %+v", s.Stats)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,41 @@
+package codegen
+
+import "testing"
+
+func TestProfiles(t *testing.T) {
+	if PentiumM.BranchEvents != 2 {
+		t.Fatalf("PM branch events = %d", PentiumM.BranchEvents)
+	}
+	if Netburst.BranchEvents != 1 {
+		t.Fatalf("Netburst branch events = %d", Netburst.BranchEvents)
+	}
+	if PentiumM.ALUExpand != 1 || Netburst.ALUExpand != 1 {
+		t.Fatal("expansion factors drifted from 1:1 retirement")
+	}
+}
+
+func TestBranchFractionMapsTable5(t *testing.T) {
+	// The copy-dominated netperf/FR mix: one abstract branch in five.
+	pm := PentiumM.BranchFraction(0, 4, 1)
+	xe := Netburst.BranchFraction(0, 4, 1)
+	if pm < 0.30 || pm > 0.37 {
+		t.Fatalf("PM copy-mix branch freq = %.3f, want ~0.33", pm)
+	}
+	if xe < 0.17 || xe > 0.22 {
+		t.Fatalf("Xeon copy-mix branch freq = %.3f, want ~0.20", xe)
+	}
+	// XML-heavy mixes dilute branches on both platforms while keeping the
+	// ~2x ratio (Table 5's SV/CBR rows).
+	pmXML := PentiumM.BranchFraction(10, 2, 1)
+	xeXML := Netburst.BranchFraction(10, 2, 1)
+	ratio := pmXML / xeXML
+	if ratio < 1.7 || ratio > 2.1 {
+		t.Fatalf("PM/Xeon branch-freq ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestBranchFractionEmpty(t *testing.T) {
+	if PentiumM.BranchFraction(0, 0, 0) != 0 {
+		t.Fatal("empty mix not zero")
+	}
+}

@@ -1,0 +1,125 @@
+package wcrypto
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha1"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perf/trace"
+)
+
+// Known-answer tests from FIPS 180-1.
+func TestSHA1KnownAnswers(t *testing.T) {
+	cases := map[string]string{
+		"":    "da39a3ee5e6b4b0d3255bfef95601890afd80709",
+		"abc": "a9993e364706816aba3e25717850c26c9cd0d89d",
+		"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq": "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+	}
+	for in, want := range cases {
+		if got := HexSum1([]byte(in)); got != want {
+			t.Errorf("SHA1(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+// Property: our implementation agrees with crypto/sha1 on arbitrary input.
+func TestAgainstStdlib(t *testing.T) {
+	check := func(data []byte) bool {
+		want := sha1.Sum(data)
+		got := Sum1(data)
+		return bytes.Equal(got[:], want[:])
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: incremental writes produce the same digest as one-shot.
+func TestIncrementalWrites(t *testing.T) {
+	check := func(a, b, c []byte) bool {
+		oneShot := Sum1(append(append(append([]byte{}, a...), b...), c...))
+		d := New()
+		d.Write(a)
+		d.Write(b)
+		d.Write(c)
+		var inc [Size]byte
+		copy(inc[:], d.Sum(nil))
+		return inc == oneShot
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumDoesNotMutateState(t *testing.T) {
+	d := New()
+	d.Write([]byte("hello"))
+	s1 := d.Sum(nil)
+	s2 := d.Sum(nil)
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("Sum mutates state")
+	}
+	d.Write([]byte(" world"))
+	want := Sum1([]byte("hello world"))
+	if !bytes.Equal(d.Sum(nil), want[:]) {
+		t.Fatal("continued write broken after Sum")
+	}
+}
+
+func TestHMACAgainstStdlib(t *testing.T) {
+	check := func(key, data []byte) bool {
+		mac := hmac.New(sha1.New, key)
+		mac.Write(data)
+		want := mac.Sum(nil)
+		got := HMAC(key, data, nil, 0)
+		return bytes.Equal(got[:], want)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHMACLongKey(t *testing.T) {
+	key := bytes.Repeat([]byte("k"), 200) // beyond BlockSize: pre-hashed
+	mac := hmac.New(sha1.New, key)
+	mac.Write([]byte("msg"))
+	want := mac.Sum(nil)
+	got := HMAC(key, []byte("msg"), nil, 0)
+	if !bytes.Equal(got[:], want) {
+		t.Fatal("long-key HMAC mismatch")
+	}
+}
+
+func TestInstrumentationEmitsPerBlock(t *testing.T) {
+	var one, four trace.Counting
+	d1 := NewInstrumented(&one, 0x1000)
+	d1.Write(make([]byte, 64))
+	d1.Sum(nil)
+	d4 := NewInstrumented(&four, 0x1000)
+	d4.Write(make([]byte, 256))
+	d4.Sum(nil)
+	if one.Instr == 0 {
+		t.Fatal("no ops emitted")
+	}
+	// Four data blocks vs one: roughly (4+1)/(1+1) more compression work.
+	if four.Instr <= one.Instr {
+		t.Fatalf("instruction stream does not scale: %d vs %d", one.Instr, four.Instr)
+	}
+	// The kernel must be ALU-dominated (the crypto workload profile).
+	if one.Loads*10 > one.Instr {
+		t.Fatalf("crypto kernel too load-heavy: %d loads of %d instr", one.Loads, one.Instr)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New()
+	d.Write([]byte("garbage"))
+	d.Reset()
+	d.Write([]byte("abc"))
+	want := Sum1([]byte("abc"))
+	if !bytes.Equal(d.Sum(nil), want[:]) {
+		t.Fatal("reset did not restore initial state")
+	}
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/httpmsg"
+	"repro/internal/xmldom"
+	"repro/internal/xpath"
+	"repro/internal/xsd"
+)
+
+func TestSOAPMessageSizeAndDeterminism(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		msg := SOAPMessage(i)
+		if len(msg) < MessageBytes-300 || len(msg) > MessageBytes+100 {
+			t.Fatalf("message %d size %d, want ~%d (AONBench 5KB)", i, len(msg), MessageBytes)
+		}
+		if !bytes.Equal(msg, SOAPMessage(i)) {
+			t.Fatalf("message %d not deterministic", i)
+		}
+	}
+	if bytes.Equal(SOAPMessage(1), SOAPMessage(2)) {
+		t.Fatal("distinct messages identical")
+	}
+}
+
+func TestSOAPMessageWellFormedAndValid(t *testing.T) {
+	schema := OrderSchema()
+	for i := 0; i < 20; i++ {
+		doc, err := xmldom.Parse(SOAPMessage(i))
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if errs := xsd.Validate(schema, doc); len(errs) != 0 {
+			t.Fatalf("message %d invalid: %v", i, errs[0])
+		}
+	}
+}
+
+func TestRoutingConditionDistribution(t *testing.T) {
+	// Even-indexed messages match //quantity/text() = "1".
+	expr := xpath.MustCompile(`//quantity/text()`)
+	ev := xpath.NewEvaluator(nil)
+	for i := 0; i < 10; i++ {
+		doc, err := xmldom.Parse(SOAPMessage(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		val, err := ev.EvalString(expr, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := i%2 == 0
+		if (val == "1") != want {
+			t.Fatalf("message %d routing value %q, want match=%v", i, val, want)
+		}
+	}
+}
+
+func TestInvalidSOAPMessageFailsValidation(t *testing.T) {
+	schema := OrderSchema()
+	doc, err := xmldom.Parse(InvalidSOAPMessage(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := xsd.Validate(schema, doc); len(errs) == 0 {
+		t.Fatal("modified message passed validation")
+	}
+}
+
+func TestHTTPRequestParses(t *testing.T) {
+	for _, uc := range AllUseCases {
+		raw := HTTPRequest(5, uc)
+		req, err := httpmsg.ParseRequest(raw)
+		if err != nil {
+			t.Fatalf("%v: %v", uc, err)
+		}
+		if req.Method != "POST" {
+			t.Fatalf("%v method %s", uc, req.Method)
+		}
+		if req.ContentLength() != len(req.Body) {
+			t.Fatalf("%v content length mismatch", uc)
+		}
+		if _, err := xmldom.Parse(req.Body); err != nil {
+			t.Fatalf("%v body: %v", uc, err)
+		}
+	}
+}
+
+func TestUseCaseStrings(t *testing.T) {
+	if FR.String() != "FR" || CBR.String() != "CBR" || SV.String() != "SV" {
+		t.Fatal("use case names wrong")
+	}
+	if UseCase(9).String() != "invalid" {
+		t.Fatal("invalid use case not flagged")
+	}
+	if len(AllUseCases) != 3 {
+		t.Fatal("use case list wrong")
+	}
+}
+
+func TestNetperfBuffer(t *testing.T) {
+	b := NetperfBuffer(16 << 10)
+	if len(b) != 16<<10 {
+		t.Fatalf("buffer size %d", len(b))
+	}
+}

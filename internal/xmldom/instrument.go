@@ -1,0 +1,154 @@
+package xmldom
+
+import "repro/internal/perf/trace"
+
+// Instrumentation densities: how many micro-ops a compiled scanner retires
+// per byte of input for each scanning mode. These constants, together with
+// the codegen profiles, determine the AON workloads' instruction mix; they
+// are calibrated so the branch frequencies land on the paper's Table 5
+// (27-28% of retired instructions on Pentium M for the XML-heavy use
+// cases).
+//
+//   - Name scanning: a character-class check per byte (branch) plus class
+//     table arithmetic.
+//   - Text/space scanning: word-at-a-time delimiter search (the memchr
+//     idiom): fewer branches per byte.
+//   - Structural matches and decisions: one branch each at a stable PC.
+const (
+	nodeSimBytes = 96 // simulated footprint of a Node struct
+
+	nameALUPerByte  = 5  // class lookup, case folding, hash accumulate
+	textALUPerWord  = 11 // SWAR delimiter test, UTF-8 validation, copy-out
+	spaceALUPerWord = 6
+	// nameBranchEvery spaces the class-check branches: table-driven
+	// scanners resolve several bytes per conditional.
+	nameBranchEvery = 3
+	// textBranchEvery spaces the content-scan loop branches.
+	textBranchEvery = 2
+)
+
+var (
+	scanCode = trace.NewCodeRegion(4096)
+
+	pcNameLoop  = scanCode.Site()
+	pcTextLoop  = scanCode.Site()
+	pcSpaceLoop = scanCode.Site()
+	pcMatch     = scanCode.Site()
+	pcAttrMore  = scanCode.Site()
+	pcAttrDup   = scanCode.Site()
+	pcSelfClose = scanCode.Site()
+	pcEndMatch  = scanCode.Site()
+	pcAllocPC   = scanCode.Site()
+	pcCmpLoop   = scanCode.Site()
+)
+
+func (p *Parser) addr(pos int) uint64 { return p.base + uint64(pos) }
+
+// emitNameRun models table-driven name scanning over src[start:end]: a
+// load per word, class arithmetic per byte, and a loop branch per few
+// bytes (taken while the class check succeeds, falling out at the
+// delimiter). The branch-poor, arithmetic-rich mix is what pulls the XML
+// use cases' retired branch frequency below the forwarding path's, as in
+// the paper's Table 5 (27-28% for SV/CBR vs 35-36% for FR on Pentium M).
+func (p *Parser) emitNameRun(start, end int) {
+	n := end - start
+	if n <= 0 {
+		return
+	}
+	p.em.Load(p.addr(start), (n+trace.WordBytes-1)/trace.WordBytes)
+	p.em.ALU(n * nameALUPerByte)
+	for i := 0; i < n; i += nameBranchEvery {
+		p.em.Branch(pcNameLoop, i+nameBranchEvery < n)
+	}
+}
+
+// emitTextRun models word-at-a-time content scanning (searching for '<'
+// or '&'): a load, SWAR arithmetic and a loop branch per word.
+func (p *Parser) emitTextRun(start, end int) {
+	n := end - start
+	if n <= 0 {
+		return
+	}
+	words := (n + trace.WordBytes - 1) / trace.WordBytes
+	for w := 0; w < words; w++ {
+		p.em.Load(p.addr(start+w*trace.WordBytes), 1)
+		p.em.ALU(textALUPerWord)
+		if w%textBranchEvery == 0 {
+			p.em.Branch(pcTextLoop, w+textBranchEvery < words)
+		}
+	}
+}
+
+// emitSpaceRun models whitespace skipping, same shape as text scanning.
+func (p *Parser) emitSpaceRun(start, end int) {
+	n := end - start
+	if n <= 0 {
+		return
+	}
+	words := (n + trace.WordBytes - 1) / trace.WordBytes
+	for w := 0; w < words; w++ {
+		p.em.Load(p.addr(start+w*trace.WordBytes), 1)
+		p.em.ALU(spaceALUPerWord)
+		if w%textBranchEvery == 0 {
+			p.em.Branch(pcSpaceLoop, w+textBranchEvery < words)
+		}
+	}
+}
+
+// emitMatch models a short literal comparison (expect).
+func (p *Parser) emitMatch(pos, n int) {
+	p.em.Load(p.addr(pos), 1)
+	p.em.ALU(2 + n/trace.WordBytes)
+	p.em.Branch(pcMatch, true)
+}
+
+// emitDecision models one data-dependent structural branch at a stable PC.
+func (p *Parser) emitDecision(pc uint64, taken bool) {
+	p.em.ALU(1)
+	p.em.Branch(pc, taken)
+}
+
+// emitNameCompare models comparing an end-tag name against the open
+// element's name (a short string compare).
+func (p *Parser) emitNameCompare(a, b string, match bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	words := n/trace.WordBytes + 1
+	p.em.Load(p.addr(p.pos), words)
+	p.em.ALU(2 * words)
+	p.em.Branch(pcEndMatch, match)
+}
+
+// emitAlloc models allocating and initializing a tree node (and copying
+// its character data into the simulated heap).
+func (p *Parser) emitAlloc(n *Node, dataLen int) {
+	p.em.ALU(30) // allocator fast path, node initialization
+	p.em.Store(n.SimAddr, 6)
+	if dataLen > 0 {
+		words := (dataLen + trace.WordBytes - 1) / trace.WordBytes
+		p.em.Store(n.SimAddr+nodeSimBytes, words)
+	}
+	p.em.Branch(pcAllocPC, true)
+}
+
+// emitAttach models linking a child into its parent (pointer stores plus
+// the occasional slice growth).
+func (p *Parser) emitAttach(parent, child *Node) {
+	p.em.Load(parent.SimAddr, 2)
+	p.em.Store(parent.SimAddr+16, 1)
+	p.em.Store(child.SimAddr+8, 1)
+	p.em.ALU(4)
+	grow := len(parent.Children)&(len(parent.Children)-1) == 0 // power of two
+	p.em.Branch(pcAllocPC+4, grow)
+}
+
+// emitAttr models interning one attribute (hashing the name, storing the
+// pair).
+func (p *Parser) emitAttr(name, value string) {
+	p.em.ALU(len(name) + 4)
+	p.em.Store(0, 0) // placeholder keeps shape explicit; no-op (N=0)
+	p.em.ALU(len(value) / 2)
+	p.em.Branch(pcCmpLoop, len(value) > 0)
+}

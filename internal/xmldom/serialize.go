@@ -1,0 +1,63 @@
+package xmldom
+
+import "strings"
+
+// Serialize renders the tree back to XML text. Round-tripping through
+// Parse and Serialize is exercised by the property-based tests.
+func Serialize(n *Node) string {
+	var b strings.Builder
+	writeNode(&b, n)
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n *Node) {
+	switch n.Kind {
+	case Document:
+		for _, c := range n.Children {
+			writeNode(b, c)
+		}
+	case Element:
+		b.WriteByte('<')
+		b.WriteString(n.Name)
+		for _, a := range n.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Name)
+			b.WriteString(`="`)
+			b.WriteString(EscapeAttr(a.Value))
+			b.WriteByte('"')
+		}
+		if len(n.Children) == 0 {
+			b.WriteString("/>")
+			return
+		}
+		b.WriteByte('>')
+		for _, c := range n.Children {
+			writeNode(b, c)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Name)
+		b.WriteByte('>')
+	case Text:
+		b.WriteString(EscapeText(n.Data))
+	case Comment:
+		b.WriteString("<!--")
+		b.WriteString(n.Data)
+		b.WriteString("-->")
+	case ProcInst:
+		b.WriteString("<?")
+		b.WriteString(n.Data)
+		b.WriteString("?>")
+	}
+}
+
+// EscapeText escapes character data for element content.
+func EscapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// EscapeAttr escapes character data for a double-quoted attribute value.
+func EscapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", `"`, "&quot;")
+	return r.Replace(s)
+}

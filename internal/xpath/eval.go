@@ -1,0 +1,505 @@
+package xpath
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/perf/trace"
+	"repro/internal/xmldom"
+)
+
+// Evaluator runs compiled expressions against a document, optionally
+// emitting the micro-op stream of the traversal: every node visited costs
+// pointer-chasing loads on the node's simulated address, every name test a
+// short compare with a data-dependent branch. This is the computation at
+// the heart of the paper's CBR use case.
+type Evaluator struct {
+	em trace.Emitter
+}
+
+var (
+	evalCode    = trace.NewCodeRegion(2048)
+	pcVisit     = evalCode.Site()
+	pcNameTest  = evalCode.Site()
+	pcKindTest  = evalCode.Site()
+	pcPredTest  = evalCode.Site()
+	pcCmpBranch = evalCode.Site()
+	pcFuncDisp  = evalCode.Site()
+)
+
+// NewEvaluator returns an evaluator emitting to em (trace.Nop{} for plain
+// library use).
+func NewEvaluator(em trace.Emitter) *Evaluator {
+	if em == nil {
+		em = trace.Nop{}
+	}
+	return &Evaluator{em: em}
+}
+
+// Eval evaluates a compiled expression with ctx as the context node.
+func (ev *Evaluator) Eval(e *Expr, ctx *xmldom.Node) (Value, error) {
+	return ev.eval(e.root, &evalCtx{node: ctx, pos: 1, size: 1})
+}
+
+// EvalString evaluates and converts to string.
+func (ev *Evaluator) EvalString(e *Expr, ctx *xmldom.Node) (string, error) {
+	v, err := ev.Eval(e, ctx)
+	if err != nil {
+		return "", err
+	}
+	return v.String(), nil
+}
+
+// EvalBool evaluates and converts to boolean.
+func (ev *Evaluator) EvalBool(e *Expr, ctx *xmldom.Node) (bool, error) {
+	v, err := ev.Eval(e, ctx)
+	if err != nil {
+		return false, err
+	}
+	return v.Boolean(), nil
+}
+
+// Eval is a convenience one-shot uninstrumented evaluation.
+func Eval(e *Expr, ctx *xmldom.Node) (Value, error) {
+	return NewEvaluator(nil).Eval(e, ctx)
+}
+
+type evalCtx struct {
+	node *xmldom.Node
+	pos  int // 1-based position()
+	size int // last()
+}
+
+// attrNode materializes attributes as transient text-like nodes so they
+// can live in node-sets. Parent links identify the owner.
+func attrValueNode(owner *xmldom.Node, a xmldom.Attr) *xmldom.Node {
+	return &xmldom.Node{Kind: xmldom.Text, Name: a.Name, Data: a.Value, Parent: owner, SimAddr: owner.SimAddr}
+}
+
+func (ev *Evaluator) eval(n node, c *evalCtx) (Value, error) {
+	switch x := n.(type) {
+	case *litExpr:
+		return StringValue(x.s), nil
+	case *numExpr:
+		return NumberValue(x.v), nil
+	case *negExpr:
+		v, err := ev.eval(x.x, c)
+		if err != nil {
+			return Value{}, err
+		}
+		ev.em.ALU(1)
+		return NumberValue(-v.Number()), nil
+	case *binExpr:
+		return ev.evalBin(x, c)
+	case *unionExpr:
+		l, err := ev.eval(x.l, c)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := ev.eval(x.r, c)
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.IsNodeSet() || !r.IsNodeSet() {
+			return Value{}, fmt.Errorf("xpath: union of non-node-sets")
+		}
+		return NodeSetValue(unionDocOrder(l.Nodes, r.Nodes)), nil
+	case *pathExpr:
+		ns, err := ev.evalPath(x, c)
+		if err != nil {
+			return Value{}, err
+		}
+		return NodeSetValue(ns), nil
+	case *callExpr:
+		return ev.evalCall(x, c)
+	case *filterExpr:
+		return ev.evalFilter(x, c)
+	}
+	return Value{}, fmt.Errorf("xpath: unknown AST node %T", n)
+}
+
+func (ev *Evaluator) evalBin(x *binExpr, c *evalCtx) (Value, error) {
+	// Short-circuit booleans.
+	if x.op == tokAnd || x.op == tokOr {
+		l, err := ev.eval(x.l, c)
+		if err != nil {
+			return Value{}, err
+		}
+		lb := l.Boolean()
+		ev.em.Branch(pcCmpBranch, lb)
+		if x.op == tokAnd && !lb {
+			return BoolValue(false), nil
+		}
+		if x.op == tokOr && lb {
+			return BoolValue(true), nil
+		}
+		r, err := ev.eval(x.r, c)
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolValue(r.Boolean()), nil
+	}
+	l, err := ev.eval(x.l, c)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := ev.eval(x.r, c)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.op {
+	case tokEq, tokNeq, tokLt, tokLte, tokGt, tokGte:
+		res := compare(x.op, l, r)
+		ev.em.ALU(4)
+		ev.em.Branch(pcCmpBranch, res)
+		return BoolValue(res), nil
+	case tokPlus:
+		ev.em.ALU(1)
+		return NumberValue(l.Number() + r.Number()), nil
+	case tokMinus:
+		ev.em.ALU(1)
+		return NumberValue(l.Number() - r.Number()), nil
+	case tokStar:
+		ev.em.ALU(3)
+		return NumberValue(l.Number() * r.Number()), nil
+	case tokDiv:
+		ev.em.ALU(20)
+		return NumberValue(l.Number() / r.Number()), nil
+	case tokMod:
+		ev.em.ALU(20)
+		return NumberValue(math.Mod(l.Number(), r.Number())), nil
+	}
+	return Value{}, fmt.Errorf("xpath: unknown operator")
+}
+
+func (ev *Evaluator) evalFilter(x *filterExpr, c *evalCtx) (Value, error) {
+	v, err := ev.eval(x.primary, c)
+	if err != nil {
+		return Value{}, err
+	}
+	if len(x.preds) > 0 || x.trail != nil {
+		if !v.IsNodeSet() {
+			return Value{}, fmt.Errorf("xpath: predicate/path applied to non-node-set")
+		}
+	}
+	ns := v.Nodes
+	for _, pred := range x.preds {
+		ns, err = ev.filterPred(ns, pred)
+		if err != nil {
+			return Value{}, err
+		}
+	}
+	if x.trail != nil {
+		var out []*xmldom.Node
+		for _, n := range ns {
+			sub, err := ev.evalPath(x.trail, &evalCtx{node: n, pos: 1, size: 1})
+			if err != nil {
+				return Value{}, err
+			}
+			out = unionDocOrder(out, sub)
+		}
+		ns = out
+	}
+	return NodeSetValue(ns), nil
+}
+
+// evalPath runs a location path from the context node.
+func (ev *Evaluator) evalPath(p *pathExpr, c *evalCtx) ([]*xmldom.Node, error) {
+	start := c.node
+	if p.absolute {
+		start = c.node.Root()
+	}
+	current := []*xmldom.Node{start}
+	for _, st := range p.steps {
+		var next []*xmldom.Node
+		for _, n := range current {
+			cands := ev.axisNodes(st, n)
+			matched := cands[:0:0]
+			size := 0
+			for _, cand := range cands {
+				if ev.nodeTest(st, cand) {
+					size++
+					matched = append(matched, cand)
+				}
+			}
+			// Predicates with position semantics relative to this
+			// context node's matched candidates.
+			for _, pred := range st.preds {
+				var err error
+				matched, err = ev.filterPred(matched, pred)
+				if err != nil {
+					return nil, err
+				}
+			}
+			next = unionDocOrder(next, matched)
+		}
+		current = next
+	}
+	return current, nil
+}
+
+func (ev *Evaluator) filterPred(ns []*xmldom.Node, pred node) ([]*xmldom.Node, error) {
+	var out []*xmldom.Node
+	for i, n := range ns {
+		v, err := ev.eval(pred, &evalCtx{node: n, pos: i + 1, size: len(ns)})
+		if err != nil {
+			return nil, err
+		}
+		var keep bool
+		if v.kindOf == kindNumber {
+			keep = int(v.Num) == i+1 // positional predicate
+		} else {
+			keep = v.Boolean()
+		}
+		ev.em.ALU(2)
+		ev.em.Branch(pcPredTest, keep)
+		if keep {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// axisNodes collects the candidate nodes along a step's axis, emitting the
+// traversal's pointer-chasing loads.
+func (ev *Evaluator) axisNodes(st *step, n *xmldom.Node) []*xmldom.Node {
+	switch st.ax {
+	case axisSelf:
+		ev.visit(n)
+		return []*xmldom.Node{n}
+	case axisParent:
+		ev.visit(n)
+		if n.Parent == nil {
+			return nil
+		}
+		return []*xmldom.Node{n.Parent}
+	case axisChild:
+		ev.visit(n)
+		return n.Children
+	case axisAttribute:
+		ev.visit(n)
+		out := make([]*xmldom.Node, 0, len(n.Attrs))
+		for _, a := range n.Attrs {
+			out = append(out, attrValueNode(n, a))
+		}
+		return out
+	case axisDescendantOrSelf:
+		var out []*xmldom.Node
+		n.Walk(func(d *xmldom.Node) bool {
+			ev.visit(d)
+			out = append(out, d)
+			return true
+		})
+		return out
+	}
+	return nil
+}
+
+// visit charges the cost of touching one tree node: pointer-chasing loads
+// on the node and its child vector plus kind dispatch.
+func (ev *Evaluator) visit(n *xmldom.Node) {
+	ev.em.Load(n.SimAddr, 3)
+	ev.em.ALU(11)
+	ev.em.Branch(pcVisit, n.Kind == xmldom.Element)
+}
+
+// nodeTest applies a step's node test, emitting the compare.
+func (ev *Evaluator) nodeTest(st *step, n *xmldom.Node) bool {
+	switch st.tk {
+	case testAny:
+		ok := st.ax == axisAttribute || n.Kind == xmldom.Element
+		ev.em.Branch(pcKindTest, ok)
+		return ok
+	case testText:
+		ok := n.Kind == xmldom.Text
+		ev.em.Branch(pcKindTest, ok)
+		return ok
+	case testComment:
+		ok := n.Kind == xmldom.Comment
+		ev.em.Branch(pcKindTest, ok)
+		return ok
+	case testNode:
+		return true
+	case testName:
+		var ok bool
+		if st.ax == axisAttribute {
+			ok = n.Name == st.name
+		} else if n.Kind == xmldom.Element {
+			// Accept either exact qualified match or local-name match,
+			// the pragmatic prefix handling of an AON device.
+			ok = n.Name == st.name || n.Local == st.name
+		}
+		ev.em.Load(n.SimAddr+24, 1)
+		ev.em.ALU(2 + len(st.name)/trace.WordBytes)
+		ev.em.Branch(pcNameTest, ok)
+		return ok
+	}
+	return false
+}
+
+// unionDocOrder merges two node-sets preserving document order without
+// duplicates. Node identity is pointer identity.
+func unionDocOrder(a, b []*xmldom.Node) []*xmldom.Node {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[*xmldom.Node]bool, len(a)+len(b))
+	var out []*xmldom.Node
+	for _, n := range a {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, n := range b {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	// Document order: index nodes by a walk from the common root.
+	order := make(map[*xmldom.Node]int, len(out))
+	i := 0
+	out[0].Root().Walk(func(n *xmldom.Node) bool {
+		order[n] = i
+		i++
+		return true
+	})
+	sortByOrder(out, order)
+	return out
+}
+
+func sortByOrder(ns []*xmldom.Node, order map[*xmldom.Node]int) {
+	// Insertion sort: node-sets here are small and nearly ordered.
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && order[ns[j]] < order[ns[j-1]]; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+// evalCall dispatches the XPath core function library.
+func (ev *Evaluator) evalCall(x *callExpr, c *evalCtx) (Value, error) {
+	ev.em.ALU(3)
+	ev.em.Branch(pcFuncDisp, true)
+	argVals := make([]Value, len(x.args))
+	for i, a := range x.args {
+		v, err := ev.eval(a, c)
+		if err != nil {
+			return Value{}, err
+		}
+		argVals[i] = v
+	}
+	arg := func(i int) Value {
+		if i < len(argVals) {
+			return argVals[i]
+		}
+		// Default argument: the context node.
+		return NodeSetValue([]*xmldom.Node{c.node})
+	}
+	switch x.name {
+	case "last":
+		return NumberValue(float64(c.size)), nil
+	case "position":
+		return NumberValue(float64(c.pos)), nil
+	case "count":
+		if len(argVals) != 1 || !argVals[0].IsNodeSet() {
+			return Value{}, fmt.Errorf("xpath: count() wants one node-set")
+		}
+		return NumberValue(float64(len(argVals[0].Nodes))), nil
+	case "name", "local-name":
+		ns := arg(0)
+		if !ns.IsNodeSet() || len(ns.Nodes) == 0 {
+			return StringValue(""), nil
+		}
+		n := ns.Nodes[0]
+		if x.name == "local-name" {
+			return StringValue(n.Local), nil
+		}
+		return StringValue(n.Name), nil
+	case "string":
+		return StringValue(arg(0).String()), nil
+	case "number":
+		return NumberValue(arg(0).Number()), nil
+	case "boolean":
+		if len(argVals) != 1 {
+			return Value{}, fmt.Errorf("xpath: boolean() wants one argument")
+		}
+		return BoolValue(argVals[0].Boolean()), nil
+	case "not":
+		if len(argVals) != 1 {
+			return Value{}, fmt.Errorf("xpath: not() wants one argument")
+		}
+		return BoolValue(!argVals[0].Boolean()), nil
+	case "true":
+		return BoolValue(true), nil
+	case "false":
+		return BoolValue(false), nil
+	case "concat":
+		var b strings.Builder
+		for _, v := range argVals {
+			b.WriteString(v.String())
+		}
+		ev.em.ALU(b.Len() / 2)
+		return StringValue(b.String()), nil
+	case "contains":
+		s, sub := arg(0).String(), arg(1).String()
+		ok := strings.Contains(s, sub)
+		ev.em.ALU(len(s))
+		ev.em.Branch(pcCmpBranch, ok)
+		return BoolValue(ok), nil
+	case "starts-with":
+		s, pre := arg(0).String(), arg(1).String()
+		ok := strings.HasPrefix(s, pre)
+		ev.em.ALU(len(pre))
+		ev.em.Branch(pcCmpBranch, ok)
+		return BoolValue(ok), nil
+	case "string-length":
+		s := arg(0).String()
+		return NumberValue(float64(len(s))), nil
+	case "normalize-space":
+		s := strings.Join(strings.Fields(arg(0).String()), " ")
+		ev.em.ALU(len(s))
+		return StringValue(s), nil
+	case "substring":
+		if len(argVals) < 2 {
+			return Value{}, fmt.Errorf("xpath: substring() wants 2 or 3 arguments")
+		}
+		s := argVals[0].String()
+		start := int(math.Round(argVals[1].Number())) - 1
+		end := len(s)
+		if len(argVals) == 3 {
+			end = start + int(math.Round(argVals[2].Number()))
+		}
+		if start < 0 {
+			start = 0
+		}
+		if end > len(s) {
+			end = len(s)
+		}
+		if start >= end {
+			return StringValue(""), nil
+		}
+		return StringValue(s[start:end]), nil
+	case "sum":
+		if len(argVals) != 1 || !argVals[0].IsNodeSet() {
+			return Value{}, fmt.Errorf("xpath: sum() wants one node-set")
+		}
+		total := 0.0
+		for _, n := range argVals[0].Nodes {
+			total += StringValue(nodeStringValue(n)).Number()
+		}
+		return NumberValue(total), nil
+	case "floor":
+		return NumberValue(math.Floor(arg(0).Number())), nil
+	case "ceiling":
+		return NumberValue(math.Ceil(arg(0).Number())), nil
+	case "round":
+		return NumberValue(math.Round(arg(0).Number())), nil
+	}
+	return Value{}, fmt.Errorf("xpath: unknown function %s()", x.name)
+}
