@@ -1,0 +1,59 @@
+package repro
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/workload"
+)
+
+// benchGateway measures the live gateway end to end over loopback: one
+// keep-alive connection posting AONBench 5 KB order documents, full
+// socket/framing/pipeline/response round trip per iteration. SetBytes is
+// the request wire size, so ns/op and MB/s are directly comparable to
+// the simulated per-message costs.
+func benchGateway(b *testing.B, uc workload.UseCase) {
+	srv, err := gateway.New(gateway.Config{UseCase: uc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	cl, err := gateway.Dial(srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	// A small pool of distinct messages keeps content varied (both CBR
+	// routes, realistic branch behavior) without generation on the path.
+	const pool = 16
+	reqs := make([][]byte, pool)
+	for i := range reqs {
+		reqs[i] = workload.HTTPRequest(i, uc)
+	}
+	b.SetBytes(int64(len(reqs[0])))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := cl.Do(reqs[i%pool], 30*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Status != 200 {
+			b.Fatalf("status %d", resp.Status)
+		}
+	}
+}
+
+func BenchmarkGatewayFR(b *testing.B)  { benchGateway(b, workload.FR) }
+func BenchmarkGatewayCBR(b *testing.B) { benchGateway(b, workload.CBR) }
+func BenchmarkGatewaySV(b *testing.B)  { benchGateway(b, workload.SV) }

@@ -1,0 +1,78 @@
+// Command aongate serves the live AON gateway: a real TCP/HTTP server
+// running the paper's FR/CBR/SV pipelines (plus the DPI/AUTH extensions)
+// on live bytes with a worker pool sized to GOMAXPROCS, 503 admission
+// control, and a /stats endpoint.
+//
+// Usage:
+//
+//	aongate -addr :8080                      # serve, default use case FR
+//	aongate -usecase SV -workers 2 -queue 8  # pin pool and queue depth
+//	curl http://localhost:8080/stats         # live metrics JSON
+//
+// Request paths select the use case per message (/service/FR, /service/CBR,
+// /service/SV, /service/DPI, /service/AUTH); other paths run -usecase.
+// SIGINT/SIGTERM drains gracefully (bounded by -drain) and prints the
+// final metrics snapshot as JSON on stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	ucName := flag.String("usecase", "FR", "default use case: FR, CBR, SV, DPI, AUTH")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers)")
+	maxBody := flag.Int("max-body", 1<<20, "max POST body bytes")
+	expr := flag.String("expr", "", "CBR XPath override (default //quantity/text())")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	uc, err := workload.ParseUseCase(*ucName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aongate:", err)
+		os.Exit(2)
+	}
+	srv, err := gateway.New(gateway.Config{
+		UseCase:      uc,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxBodyBytes: *maxBody,
+		Expr:         *expr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aongate:", err)
+		os.Exit(2)
+	}
+	if err := srv.Start(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "aongate:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "aongate: listening on %s (usecase=%s workers=%d GOMAXPROCS=%d)\n",
+		srv.Addr(), uc, srv.Workers(), runtime.GOMAXPROCS(0))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "aongate: draining...")
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "aongate: drain incomplete:", err)
+	}
+	b, _ := json.MarshalIndent(srv.Metrics.Snapshot(), "", "  ")
+	fmt.Println(string(b))
+}

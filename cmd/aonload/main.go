@@ -1,0 +1,112 @@
+// Command aonload is the open-loop client driver for the live AON
+// gateway: N concurrent keep-alive connections POSTing AONBench order
+// documents, reporting msgs/s, Mbps, latency percentiles, and routing
+// outcomes as a final JSON report — one command per side makes a run.
+//
+// Usage:
+//
+//	aonload -addr localhost:8080 -usecase CBR -conns 16 -duration 10s
+//	aonload -usecase SV -n 5000 -size 5120 -invalid-every 3
+//	aonload -sweep 1,2,4 -usecase SV -n 2000   # self-hosted scaling table
+//
+// -sweep replays the paper's 1-unit→2-unit scaling question (Figures 5/6)
+// on the live machine: for each width it sets GOMAXPROCS, starts an
+// in-process gateway on loopback with an equal-width worker pool, drives
+// it, and prints a scaling table. Like the paper's netperf loopback mode,
+// client and server share the machine, so the curve shape — not the
+// absolute msgs/s — is the comparable result.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "gateway address")
+	ucName := flag.String("usecase", "FR", "use case: FR, CBR, SV, DPI, AUTH")
+	conns := flag.Int("conns", 8, "concurrent keep-alive connections")
+	msgs := flag.Int("n", 0, "total messages (0 = run for -duration)")
+	duration := flag.Duration("duration", 0, "run length (0 = send -n messages; both 0 = 1000 messages)")
+	size := flag.Int("size", workload.MessageBytes, "approximate POST body bytes")
+	invalidEvery := flag.Int("invalid-every", 0, "make every Nth message schema-invalid (0 = never)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	sweep := flag.String("sweep", "", "comma-separated GOMAXPROCS widths for a self-hosted scaling run (e.g. 1,2,4)")
+	flag.Parse()
+
+	uc, err := workload.ParseUseCase(*ucName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aonload:", err)
+		os.Exit(2)
+	}
+	cfg := gateway.LoadConfig{
+		Addr:         *addr,
+		UseCase:      uc,
+		Conns:        *conns,
+		Messages:     *msgs,
+		Duration:     *duration,
+		Size:         *size,
+		InvalidEvery: *invalidEvery,
+		Timeout:      *timeout,
+	}
+
+	if *sweep != "" {
+		procs, err := parseProcs(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aonload:", err)
+			os.Exit(2)
+		}
+		rows, err := gateway.RunSweep(procs, cfg, gateway.Config{UseCase: uc})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aonload:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "aonload: %s scaling sweep, %d conns, %d-byte messages\n",
+			uc, cfg.Conns, cfg.Size)
+		fmt.Fprint(os.Stderr, gateway.FormatSweepTable(rows))
+		b, _ := json.MarshalIndent(rows, "", "  ")
+		fmt.Println(string(b))
+		return
+	}
+
+	rep, err := RunAndReport(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aonload:", err)
+		os.Exit(1)
+	}
+	b, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(b))
+}
+
+// RunAndReport runs one load generation pass and summarizes to stderr.
+func RunAndReport(cfg gateway.LoadConfig) (gateway.Report, error) {
+	rep, err := gateway.RunLoad(cfg)
+	if err != nil {
+		return rep, err
+	}
+	fmt.Fprintf(os.Stderr,
+		"aonload: %s  %d conns  %.0f msgs/s  %.1f Mbps  p50=%dus p99=%dus  ok=%d shed=%d err=%d\n",
+		rep.UseCase, rep.Conns, rep.MsgsPerSec, rep.Mbps,
+		rep.Latency.P50US, rep.Latency.P99US, rep.OK, rep.Shed, rep.HTTPErrors+rep.NetErrors)
+	return rep, nil
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -sweep entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,418 @@
+// Package gateway is the live counterpart of the simulated AON device: a
+// real TCP server that speaks the paper's protocol — HTTP/1.1 POSTs
+// carrying AONBench order documents — and runs the same three pipelines
+// (FR proxying, CBR XPath routing, SV schema validation, plus the DPI and
+// AUTH extensions) on live bytes using the repo's XML stack.
+//
+// The structure follows Section 3.2.1 of the paper: a bounded worker pool
+// with one worker per logical CPU services an accept queue; admission
+// control sheds load with 503s when the queue is full rather than letting
+// goroutines (the live analogue of the paper's thread pool) grow without
+// bound. A metrics layer mirrors the simulator's aon.Stats with atomics
+// and adds latency histograms and per-second throughput, served on GET
+// /stats and in the final report, so the GOMAXPROCS=1 vs N scaling curve
+// can be measured on real hardware and compared against the simulated
+// 1CPm vs 2CPm results.
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpmsg"
+	"repro/internal/workload"
+	"repro/internal/xsd"
+)
+
+// Config parameterizes a live gateway.
+type Config struct {
+	// UseCase is the default pipeline when the request path doesn't name
+	// one (/service/FR, /service/CBR, ... select per-request).
+	UseCase workload.UseCase
+	// Workers sizes the worker pool; 0 means one per logical CPU
+	// (GOMAXPROCS), the paper's Section 3.2.1 policy.
+	Workers int
+	// QueueDepth bounds the admission queue between connection readers
+	// and workers; 0 means 4x workers. A full queue sheds with 503.
+	QueueDepth int
+	// MaxBodyBytes rejects larger POSTs with 400; 0 means 1 MiB.
+	MaxBodyBytes int
+	// Expr overrides the CBR XPath (default //quantity/text()).
+	Expr string
+	// Schema overrides the SV schema (default the AONBench order schema).
+	Schema *xsd.Schema
+	// ProcessDelay adds a fixed per-message stall in the worker — a fault
+	// -injection knob for emulating a slower device and for testing the
+	// admission control deterministically.
+	ProcessDelay time.Duration
+}
+
+// job is one framed request travelling from a connection reader to a
+// worker and back.
+type job struct {
+	raw   []byte
+	start time.Time
+	resp  chan response
+}
+
+type response struct {
+	bytes []byte
+	close bool // respond then close the connection
+}
+
+// Server is one live gateway instance.
+type Server struct {
+	cfg     Config
+	pipe    *Pipeline
+	Metrics *Metrics
+
+	ln       net.Listener
+	jobs     chan *job
+	stopping atomic.Bool
+	inflight atomic.Int64 // jobs between admission and response write
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+	workerWG sync.WaitGroup
+
+	shutOnce sync.Once
+	shutErr  error
+}
+
+// New builds a server; Start or Serve brings it live.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	pipe, err := NewPipeline(cfg.UseCase, cfg.Expr, cfg.Schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:     cfg,
+		pipe:    pipe,
+		Metrics: NewMetrics(),
+		jobs:    make(chan *job, cfg.QueueDepth),
+		conns:   map[net.Conn]struct{}{},
+	}, nil
+}
+
+// Workers reports the pool size in effect.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in background
+// goroutines until Shutdown.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if s.stopping.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.Metrics.Conns.Add(1)
+		s.Metrics.ActiveConns.Add(1)
+		s.connWG.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+func (s *Server) removeConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+	s.Metrics.ActiveConns.Add(-1)
+	s.connWG.Done()
+}
+
+// handleConn frames keep-alive requests off one socket and runs each
+// through admission control. Framing is deliberately cheap (scan to the
+// blank line, then Content-Length bytes); the full HTTP parse happens on
+// a worker so the connection reader stays I/O-bound.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.removeConn(c)
+	br := bufio.NewReaderSize(c, 32<<10)
+	for {
+		raw, err := readRequest(br, s.cfg.MaxBodyBytes)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				var fe *frameError
+				if errors.As(err, &fe) {
+					s.Metrics.ParseErrors.Add(1)
+					s.write(c, formatError(400, fe.msg, true))
+				}
+			}
+			return
+		}
+		s.Metrics.BytesIn.Add(uint64(len(raw)))
+
+		// GET requests (the /stats endpoint) bypass the worker pool so
+		// observability survives overload — the whole point of /stats.
+		if bytes.HasPrefix(raw, []byte("GET ")) {
+			if !s.write(c, s.handleGet(raw)) {
+				return
+			}
+			continue
+		}
+
+		if s.stopping.Load() {
+			s.write(c, formatError(503, "draining", true))
+			return
+		}
+		j := &job{raw: raw, start: time.Now(), resp: make(chan response, 1)}
+		s.inflight.Add(1)
+		select {
+		case s.jobs <- j:
+			r := <-j.resp
+			ok := s.write(c, r.bytes)
+			s.inflight.Add(-1)
+			if !ok || r.close {
+				return
+			}
+		default:
+			s.inflight.Add(-1)
+			s.Metrics.Shed.Add(1)
+			if !s.write(c, formatError(503, "queue full", false)) {
+				return
+			}
+		}
+	}
+}
+
+// write sends a response and accounts the bytes; false means the
+// connection is dead.
+func (s *Server) write(c net.Conn, b []byte) bool {
+	n, err := c.Write(b)
+	s.Metrics.BytesOut.Add(uint64(n))
+	return err == nil
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.jobs {
+		j.resp <- s.process(j)
+	}
+}
+
+// process is the worker-side pipeline: full HTTP parse, use-case
+// dispatch, response build.
+func (s *Server) process(j *job) response {
+	if s.cfg.ProcessDelay > 0 {
+		time.Sleep(s.cfg.ProcessDelay)
+	}
+	req, err := httpmsg.ParseRequest(j.raw)
+	if err != nil {
+		s.Metrics.Done(OutParseError, time.Since(j.start))
+		return response{bytes: formatError(400, err.Error(), true), close: true}
+	}
+	uc := s.pipe.SelectUseCase(req.Target)
+	out := s.pipe.Process(uc, req)
+	s.Metrics.Done(out, time.Since(j.start))
+	if out == OutParseError {
+		return response{bytes: formatError(400, "unprocessable message", false)}
+	}
+	connClose := false
+	if v, ok := req.Get("Connection"); ok && strings.EqualFold(v, "close") {
+		connClose = true
+	}
+	body := fmt.Sprintf(`{"usecase":%q,"outcome":%q,"route":%q}`, uc, out, routeOf(out))
+	resp := &httpmsg.Response{
+		Status: 200,
+		Headers: []httpmsg.Header{
+			{Name: "Content-Type", Value: "application/json"},
+			{Name: RouteHeader, Value: routeOf(out)},
+			{Name: "X-AON-Outcome", Value: out.String()},
+		},
+		Body: []byte(body),
+	}
+	if connClose {
+		resp.Headers = append(resp.Headers, httpmsg.Header{Name: "Connection", Value: "close"})
+	}
+	return response{bytes: httpmsg.FormatResponse(resp), close: connClose}
+}
+
+// handleGet serves the observability surface: GET /stats returns the
+// metrics snapshot as JSON; anything else is 404.
+func (s *Server) handleGet(raw []byte) []byte {
+	req, err := httpmsg.ParseRequest(raw)
+	if err != nil {
+		return formatError(400, err.Error(), false)
+	}
+	if strings.HasSuffix(strings.TrimSuffix(req.Target, "/"), "stats") {
+		b, _ := json.MarshalIndent(s.Metrics.Snapshot(), "", "  ")
+		return httpmsg.FormatResponse(&httpmsg.Response{
+			Status:  200,
+			Headers: []httpmsg.Header{{Name: "Content-Type", Value: "application/json"}},
+			Body:    b,
+		})
+	}
+	return formatError(404, "not found", false)
+}
+
+// formatError builds a small JSON error response.
+func formatError(status int, msg string, connClose bool) []byte {
+	reason := httpmsg.StatusText(status)
+	if status == 503 {
+		reason = "Service Unavailable"
+	}
+	hs := []httpmsg.Header{{Name: "Content-Type", Value: "application/json"}}
+	if status == 503 {
+		hs = append(hs, httpmsg.Header{Name: "Retry-After", Value: "1"})
+	}
+	if connClose {
+		hs = append(hs, httpmsg.Header{Name: "Connection", Value: "close"})
+	}
+	return httpmsg.FormatResponse(&httpmsg.Response{
+		Status:  status,
+		Reason:  reason,
+		Headers: hs,
+		Body:    []byte(fmt.Sprintf(`{"error":%q}`, msg)),
+	})
+}
+
+// Shutdown drains gracefully: stop accepting, let queued and in-flight
+// messages finish (bounded by ctx), then close connections and stop the
+// workers. Idempotent; later calls return the first call's result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() { s.shutErr = s.shutdown(ctx) })
+	return s.shutErr
+}
+
+func (s *Server) shutdown(ctx context.Context) error {
+	s.stopping.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.acceptWG.Wait()
+
+	// Drain: admission is closed (readers see stopping), so once the
+	// queue is empty and nothing is between admission and response
+	// write, every accepted message has been answered.
+	drained := ctx.Err()
+	for {
+		if len(s.jobs) == 0 && s.inflight.Load() == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			drained = ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+			continue
+		}
+		break
+	}
+
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	close(s.jobs)
+	s.workerWG.Wait()
+	return drained
+}
+
+// frameError distinguishes malformed framing (answerable with a 400) from
+// plain connection teardown.
+type frameError struct{ msg string }
+
+func (e *frameError) Error() string { return "gateway: " + e.msg }
+
+// readRequest frames one HTTP/1.1 message off the wire: header block to
+// the blank line, then exactly Content-Length body bytes. It returns the
+// raw message for httpmsg.ParseRequest. io.EOF between messages is a
+// clean close.
+func readRequest(br *bufio.Reader, maxBody int) ([]byte, error) {
+	var buf []byte
+	clen := 0
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			if err == io.EOF && len(buf) == 0 && len(line) == 0 {
+				return nil, io.EOF
+			}
+			if err == io.EOF {
+				return nil, &frameError{"truncated request"}
+			}
+			return nil, err
+		}
+		buf = append(buf, line...)
+		if len(buf) > 64<<10 {
+			return nil, &frameError{"header block too large"}
+		}
+		trimmed := bytes.TrimRight(line, "\r\n")
+		if len(trimmed) == 0 {
+			if len(buf) == len(line) {
+				buf = buf[:0] // tolerate blank lines before the request line
+				continue
+			}
+			break // blank line after the header block
+		}
+		if i := bytes.IndexByte(trimmed, ':'); i > 0 {
+			if strings.EqualFold(string(bytes.TrimSpace(trimmed[:i])), "Content-Length") {
+				n, err := strconv.Atoi(strings.TrimSpace(string(trimmed[i+1:])))
+				if err != nil || n < 0 {
+					return nil, &frameError{"bad Content-Length"}
+				}
+				clen = n
+			}
+		}
+	}
+	if clen > maxBody {
+		return nil, &frameError{"body exceeds limit"}
+	}
+	if clen > 0 {
+		body := make([]byte, clen)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, &frameError{"truncated body"}
+		}
+		buf = append(buf, body...)
+	}
+	return buf, nil
+}

@@ -1,0 +1,328 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// startServer brings up a gateway on loopback and registers teardown.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+// TestEndToEndUseCases is the acceptance path: one live gateway, driven by
+// the cmd/aonload client code (RunLoad) for all three paper use cases,
+// asserting routing outcomes and non-zero throughput.
+func TestEndToEndUseCases(t *testing.T) {
+	srv := startServer(t, Config{Workers: 2})
+	addr := srv.Addr().String()
+
+	// FR: every message forwards to the order endpoint.
+	rep, err := RunLoad(LoadConfig{Addr: addr, UseCase: workload.FR, Conns: 4, Messages: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 120 || rep.Forwarded != 120 {
+		t.Fatalf("FR: ok=%d forwarded=%d, want 120/120 (%+v)", rep.OK, rep.Forwarded, rep)
+	}
+	if rep.MsgsPerSec <= 0 {
+		t.Fatalf("FR: non-positive throughput %v", rep.MsgsPerSec)
+	}
+
+	// CBR: workload.SOAPMessage gives quantity==1 for even indices, so
+	// both routing outcomes must appear, matches ~half.
+	rep, err = RunLoad(LoadConfig{Addr: addr, UseCase: workload.CBR, Conns: 3, Messages: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 120 {
+		t.Fatalf("CBR: ok=%d, want 120 (%+v)", rep.OK, rep)
+	}
+	if rep.Match == 0 || rep.RoutedError == 0 {
+		t.Fatalf("CBR: match=%d error=%d, want both non-zero", rep.Match, rep.RoutedError)
+	}
+	if rep.Match+rep.RoutedError != rep.OK {
+		t.Fatalf("CBR: outcomes %d+%d != ok %d", rep.Match, rep.RoutedError, rep.OK)
+	}
+
+	// SV: every third message is schema-invalid; both verdicts must appear.
+	rep, err = RunLoad(LoadConfig{Addr: addr, UseCase: workload.SV, Conns: 3, Messages: 90, InvalidEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 90 {
+		t.Fatalf("SV: ok=%d, want 90 (%+v)", rep.OK, rep)
+	}
+	if rep.Valid == 0 || rep.RoutedError == 0 {
+		t.Fatalf("SV: valid=%d invalid=%d, want both non-zero", rep.Valid, rep.RoutedError)
+	}
+	if rep.Latency.Count == 0 || rep.Latency.P99US == 0 {
+		t.Fatalf("SV: empty latency histogram %+v", rep.Latency)
+	}
+
+	// Server-side counters mirror what the clients saw.
+	snap := srv.Metrics.Snapshot()
+	if snap.Messages != 330 {
+		t.Fatalf("server messages=%d, want 330", snap.Messages)
+	}
+	if snap.RoutedMatch == 0 || snap.ValidationOK == 0 || snap.RoutedError == 0 || snap.Forwarded == 0 {
+		t.Fatalf("server outcome counters missing a class: %+v", snap)
+	}
+	if snap.BytesIn == 0 || snap.BytesOut == 0 {
+		t.Fatalf("server byte counters zero: %+v", snap)
+	}
+}
+
+// TestAdmissionControlSheds shows the queue-full path: with one worker
+// stalled per message and a depth-1 queue, concurrent clients must see
+// 503s while accepted work still completes — shedding, not collapse.
+func TestAdmissionControlSheds(t *testing.T) {
+	srv := startServer(t, Config{
+		Workers:      1,
+		QueueDepth:   1,
+		ProcessDelay: 20 * time.Millisecond,
+	})
+
+	const conns = 8
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var ok200, shed503 uint64
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for k := 0; k < 5; k++ {
+				resp, err := cl.Do(workload.HTTPRequest(i*5+k, workload.FR), 10*time.Second)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				switch resp.Status {
+				case 200:
+					ok200++
+				case 503:
+					shed503++
+				default:
+					t.Errorf("unexpected status %d", resp.Status)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if shed503 == 0 {
+		t.Fatalf("expected 503 shedding with a full queue (ok=%d shed=%d)", ok200, shed503)
+	}
+	if ok200 == 0 {
+		t.Fatalf("admission control starved all work (shed=%d)", shed503)
+	}
+	snap := srv.Metrics.Snapshot()
+	if snap.Shed != shed503 {
+		t.Fatalf("server shed counter %d != client-observed %d", snap.Shed, shed503)
+	}
+	if snap.Messages != ok200 {
+		t.Fatalf("server messages %d != client-observed 200s %d", snap.Messages, ok200)
+	}
+}
+
+// TestStatsEndpoint exercises the observability surface over the wire.
+func TestStatsEndpoint(t *testing.T) {
+	srv := startServer(t, Config{Workers: 1})
+	addr := srv.Addr().String()
+	if _, err := RunLoad(LoadConfig{Addr: addr, UseCase: workload.CBR, Messages: 10}); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := cl.Do([]byte("GET /stats HTTP/1.1\r\nHost: x\r\n\r\n"), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("GET /stats status %d", resp.Status)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(resp.Body, &snap); err != nil {
+		t.Fatalf("stats body not JSON: %v\n%s", err, resp.Body)
+	}
+	if snap.Messages != 10 || snap.Latency.Count != 10 {
+		t.Fatalf("stats snapshot wrong: %+v", snap)
+	}
+
+	// Unknown GET path is a 404, and the connection stays usable.
+	resp, err = cl.Do([]byte("GET /nope HTTP/1.1\r\nHost: x\r\n\r\n"), 5*time.Second)
+	if err != nil || resp.Status != 404 {
+		t.Fatalf("GET /nope: resp=%+v err=%v", resp, err)
+	}
+}
+
+// TestMalformedRequest checks the 400 path counts a parse error and
+// closes the connection.
+func TestMalformedRequest(t *testing.T) {
+	srv := startServer(t, Config{Workers: 1})
+	cl, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := cl.Do([]byte("POST /service/CBR HTTP/1.1\r\nContent-Length: nope\r\n\r\n"), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 400 {
+		t.Fatalf("malformed framing: status %d, want 400", resp.Status)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Metrics.Snapshot().ParseErrors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("parse error not counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPathDispatch confirms one gateway serves the whole grid via the
+// request path, with the configured use case as fallback.
+func TestPathDispatch(t *testing.T) {
+	srv := startServer(t, Config{Workers: 1, UseCase: workload.SV})
+	cl, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Path names CBR: index 0 has quantity 1 → match.
+	resp, err := cl.Do(workload.HTTPRequest(0, workload.CBR), 5*time.Second)
+	if err != nil || resp.Outcome != "match" {
+		t.Fatalf("CBR via path: resp=%+v err=%v", resp, err)
+	}
+	// Unrecognized path falls back to the configured SV.
+	body := workload.SOAPMessage(4)
+	raw := []byte("POST /other HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+		strconv.Itoa(len(body)) + "\r\n\r\n" + string(body))
+	resp, err = cl.Do(raw, 5*time.Second)
+	if err != nil || resp.Outcome != "valid" {
+		t.Fatalf("default SV: resp=%+v err=%v", resp, err)
+	}
+}
+
+// TestGracefulShutdown: in-flight work completes, then new connections
+// are refused.
+func TestGracefulShutdown(t *testing.T) {
+	srv, err := New(Config{Workers: 2, ProcessDelay: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+
+	// Launch a request that will still be in flight when Shutdown starts.
+	done := make(chan *ClientResp, 1)
+	go func() {
+		cl, err := Dial(addr)
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer cl.Close()
+		resp, err := cl.Do(workload.HTTPRequest(1, workload.FR), 10*time.Second)
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- resp
+	}()
+	time.Sleep(10 * time.Millisecond) // let it reach the worker
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if resp := <-done; resp == nil || resp.Status != 200 {
+		t.Fatalf("in-flight request lost during drain: %+v", resp)
+	}
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+// TestSweepSmoke runs the scaling harness end to end at tiny scale.
+func TestSweepSmoke(t *testing.T) {
+	rows, err := RunSweep([]int{1, 2},
+		LoadConfig{UseCase: workload.CBR, Conns: 2, Messages: 40, Size: 2048},
+		Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Procs != 1 || rows[1].Procs != 2 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Report.OK != 40 {
+			t.Fatalf("GOMAXPROCS=%d: ok=%d want 40", r.Procs, r.Report.OK)
+		}
+		if r.Server.Messages != 40 {
+			t.Fatalf("GOMAXPROCS=%d: server messages=%d", r.Procs, r.Server.Messages)
+		}
+	}
+	table := FormatSweepTable(rows)
+	if !strings.Contains(table, "GOMAXPROCS") || !strings.Contains(table, "scaling") {
+		t.Fatalf("table missing columns:\n%s", table)
+	}
+}
+
+// TestHistQuantiles pins the histogram math.
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i+1) * time.Microsecond) // buckets up to 2^7
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.MaxUS != 100 {
+		t.Fatalf("count=%d max=%d", s.Count, s.MaxUS)
+	}
+	if s.P50US < 32 || s.P50US > 128 {
+		t.Fatalf("p50=%d out of log-bucket range", s.P50US)
+	}
+	if s.P99US < s.P50US {
+		t.Fatalf("p99=%d < p50=%d", s.P99US, s.P50US)
+	}
+	if s.MeanUS < 49 || s.MeanUS > 52 {
+		t.Fatalf("mean=%f", s.MeanUS)
+	}
+}

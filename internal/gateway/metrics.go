@@ -1,0 +1,202 @@
+package gateway
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a lock-free log2-bucketed latency histogram: bucket k holds
+// observations in [2^(k-1), 2^k) microseconds. 40 buckets cover ~13 days,
+// far beyond any request latency.
+type Hist struct {
+	buckets [40]atomic.Uint64
+	count   atomic.Uint64
+	sumUS   atomic.Uint64
+	maxUS   atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	b := bits.Len64(us)
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		cur := h.maxUS.Load()
+		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
+			break
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time percentile read.
+type HistSnapshot struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  uint64  `json:"p50_us"`
+	P90US  uint64  `json:"p90_us"`
+	P99US  uint64  `json:"p99_us"`
+	MaxUS  uint64  `json:"max_us"`
+}
+
+// Snapshot reads the histogram. Percentiles are upper bucket bounds, so
+// they over-report by at most 2x — adequate for a scaling comparison,
+// and stated in the docs.
+func (h *Hist) Snapshot() HistSnapshot {
+	var counts [40]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistSnapshot{Count: total, MaxUS: h.maxUS.Load()}
+	if total == 0 {
+		return s
+	}
+	s.MeanUS = float64(h.sumUS.Load()) / float64(total)
+	quantile := func(q float64) uint64 {
+		target := uint64(q * float64(total))
+		var seen uint64
+		for i, c := range counts {
+			seen += c
+			if seen > target {
+				return uint64(1) << uint(i) // upper bound of bucket i
+			}
+		}
+		return s.MaxUS
+	}
+	s.P50US = quantile(0.50)
+	s.P90US = quantile(0.90)
+	s.P99US = quantile(0.99)
+	return s
+}
+
+// rateRing tracks per-second message completions without locks: slot
+// sec%len holds the count for wall-clock second sec, lazily reset when the
+// ring wraps onto a stale second.
+type rateRing struct {
+	slots [8]struct {
+		sec atomic.Int64
+		n   atomic.Uint64
+	}
+}
+
+func (r *rateRing) tick(now time.Time) {
+	sec := now.Unix()
+	s := &r.slots[sec%int64(len(r.slots))]
+	if s.sec.Load() != sec {
+		if s.sec.Swap(sec) != sec {
+			s.n.Store(0)
+		}
+	}
+	s.n.Add(1)
+}
+
+// lastSecond returns the completed count for the most recent *finished*
+// wall-clock second (the current second is still filling).
+func (r *rateRing) lastSecond(now time.Time) uint64 {
+	want := now.Unix() - 1
+	s := &r.slots[want%int64(len(r.slots))]
+	if s.sec.Load() != want {
+		return 0
+	}
+	return s.n.Load()
+}
+
+// Metrics is the gateway's live counter set — the socket-world mirror of
+// the simulator's aon.Stats, plus the queue/shedding counters that only
+// exist when load is real.
+type Metrics struct {
+	start time.Time
+
+	Conns        atomic.Uint64 // connections accepted
+	ActiveConns  atomic.Int64  // currently open connections
+	Messages     atomic.Uint64 // messages fully processed and answered
+	BytesIn      atomic.Uint64 // request bytes read off sockets
+	BytesOut     atomic.Uint64 // response bytes written
+	RoutedMatch  atomic.Uint64 // CBR: matched the routing condition
+	RoutedError  atomic.Uint64 // routed to the error endpoint
+	ValidationOK atomic.Uint64 // SV: schema-valid messages
+	Forwarded    atomic.Uint64 // FR/DPI/AUTH: proxied to the intended endpoint
+	ParseErrors  atomic.Uint64 // malformed HTTP/XML (400s)
+	Shed         atomic.Uint64 // admission control rejections (503s)
+
+	Latency Hist
+	rate    rateRing
+}
+
+// NewMetrics starts the clock.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// Done records one completed message with its service latency.
+func (m *Metrics) Done(outcome Outcome, d time.Duration) {
+	m.Messages.Add(1)
+	m.Latency.Observe(d)
+	m.rate.tick(time.Now())
+	switch outcome {
+	case OutForwarded:
+		m.Forwarded.Add(1)
+	case OutMatch:
+		m.RoutedMatch.Add(1)
+	case OutNoMatch:
+		m.RoutedError.Add(1)
+	case OutValid:
+		m.ValidationOK.Add(1)
+	case OutParseError:
+		m.ParseErrors.Add(1)
+	}
+}
+
+// Snapshot is the JSON shape served on /stats and printed at shutdown.
+type Snapshot struct {
+	UptimeSec    float64      `json:"uptime_sec"`
+	Conns        uint64       `json:"conns"`
+	ActiveConns  int64        `json:"active_conns"`
+	Messages     uint64       `json:"messages"`
+	BytesIn      uint64       `json:"bytes_in"`
+	BytesOut     uint64       `json:"bytes_out"`
+	RoutedMatch  uint64       `json:"routed_match"`
+	RoutedError  uint64       `json:"routed_error"`
+	ValidationOK uint64       `json:"validation_ok"`
+	Forwarded    uint64       `json:"forwarded"`
+	ParseErrors  uint64       `json:"parse_errors"`
+	Shed         uint64       `json:"shed_503"`
+	MsgsPerSec   float64      `json:"msgs_per_sec"`   // lifetime average
+	LastSecMsgs  uint64       `json:"last_sec_msgs"`  // most recent full second
+	MbpsIn       float64      `json:"mbps_in"`        // lifetime average
+	Latency      HistSnapshot `json:"latency"`
+}
+
+// Snapshot reads every counter.
+func (m *Metrics) Snapshot() Snapshot {
+	now := time.Now()
+	up := now.Sub(m.start).Seconds()
+	if up <= 0 {
+		up = 1e-9
+	}
+	msgs := m.Messages.Load()
+	in := m.BytesIn.Load()
+	return Snapshot{
+		UptimeSec:    up,
+		Conns:        m.Conns.Load(),
+		ActiveConns:  m.ActiveConns.Load(),
+		Messages:     msgs,
+		BytesIn:      in,
+		BytesOut:     m.BytesOut.Load(),
+		RoutedMatch:  m.RoutedMatch.Load(),
+		RoutedError:  m.RoutedError.Load(),
+		ValidationOK: m.ValidationOK.Load(),
+		Forwarded:    m.Forwarded.Load(),
+		ParseErrors:  m.ParseErrors.Load(),
+		Shed:         m.Shed.Load(),
+		MsgsPerSec:   float64(msgs) / up,
+		LastSecMsgs:  m.rate.lastSecond(now),
+		MbpsIn:       float64(in) * 8 / 1e6 / up,
+		Latency:      m.Latency.Snapshot(),
+	}
+}

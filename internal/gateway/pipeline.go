@@ -1,0 +1,163 @@
+package gateway
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/dpi"
+	"repro/internal/httpmsg"
+	"repro/internal/perf/trace"
+	"repro/internal/wcrypto"
+	"repro/internal/workload"
+	"repro/internal/xmldom"
+	"repro/internal/xpath"
+	"repro/internal/xsd"
+)
+
+// Outcome classifies what the gateway did with one message — the live
+// equivalent of the per-message branches the simulated server counts in
+// aon.Stats.
+type Outcome int
+
+const (
+	// OutForwarded: FR — the request was proxied unchanged.
+	OutForwarded Outcome = iota
+	// OutMatch: CBR — //quantity/text() equalled the routing value; the
+	// message goes to the order endpoint.
+	OutMatch
+	// OutNoMatch: CBR/SV/DPI/AUTH — routed to the error endpoint.
+	OutNoMatch
+	// OutValid: SV — the message validated against the order schema.
+	OutValid
+	// OutParseError: malformed HTTP or XML; the client gets a 400.
+	OutParseError
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutForwarded:
+		return "forwarded"
+	case OutMatch:
+		return "match"
+	case OutNoMatch:
+		return "error"
+	case OutValid:
+		return "valid"
+	case OutParseError:
+		return "parse-error"
+	}
+	return "invalid"
+}
+
+// RouteHeader is the response header carrying the routing decision, so an
+// open-loop client can assert outcomes without a second channel.
+const RouteHeader = "X-AON-Route"
+
+// routeOf maps an outcome to the endpoint name the device would forward
+// to: "order" for the intended endpoint, "error" otherwise.
+func routeOf(o Outcome) string {
+	switch o {
+	case OutForwarded, OutMatch, OutValid:
+		return "order"
+	default:
+		return "error"
+	}
+}
+
+// Pipeline holds the pre-compiled artifacts for the use-case processing:
+// the CBR XPath, the SV schema, and the DPI automaton are built once at
+// server start (the paper's device pre-stores the lookup expression and
+// schema, Section 3.2.1) and shared read-only across workers.
+type Pipeline struct {
+	expr    *xpath.Expr
+	schema  *xsd.Schema
+	matcher *dpi.Matcher
+	def     workload.UseCase
+}
+
+// NewPipeline compiles the routing expression and resolves the schema.
+// Empty expr defaults to the paper's //quantity/text(); nil schema
+// defaults to the AONBench order schema. def is the use case applied when
+// a request path does not select one.
+func NewPipeline(def workload.UseCase, expr string, schema *xsd.Schema) (*Pipeline, error) {
+	if expr == "" {
+		expr = "//quantity/text()"
+	}
+	e, err := xpath.Compile(expr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: bad routing expression: %w", err)
+	}
+	if schema == nil {
+		schema = workload.OrderSchema()
+	}
+	return &Pipeline{
+		expr:    e,
+		schema:  schema,
+		matcher: dpi.MustNewMatcher(dpi.DefaultSignatures),
+		def:     def,
+	}, nil
+}
+
+// RouteMatchValue is the CBR routing condition value.
+const RouteMatchValue = "1"
+
+// SelectUseCase picks the use case for a request: the last path segment of
+// the target selects one by name (/service/CBR), otherwise the pipeline's
+// default applies. This lets a single gateway serve the whole grid.
+func (p *Pipeline) SelectUseCase(target string) workload.UseCase {
+	if i := strings.LastIndexByte(target, '/'); i >= 0 {
+		if uc, err := workload.ParseUseCase(target[i+1:]); err == nil {
+			return uc
+		}
+	}
+	return p.def
+}
+
+// Process runs the use-case pipeline on a parsed request.
+func (p *Pipeline) Process(uc workload.UseCase, req *httpmsg.Request) Outcome {
+	switch uc {
+	case workload.FR:
+		// Forwarding only: the target rewrite is the whole content path.
+		httpmsg.RewriteTarget(req, trace.Nop{})
+		return OutForwarded
+	case workload.CBR:
+		doc, err := xmldom.Parse(req.Body)
+		if err != nil {
+			return OutParseError
+		}
+		val, err := xpath.NewEvaluator(nil).EvalString(p.expr, doc)
+		if err != nil {
+			return OutParseError
+		}
+		if val == RouteMatchValue {
+			return OutMatch
+		}
+		return OutNoMatch
+	case workload.SV:
+		doc, err := xmldom.Parse(req.Body)
+		if err != nil {
+			return OutParseError
+		}
+		if len(xsd.Validate(p.schema, doc)) == 0 {
+			return OutValid
+		}
+		return OutNoMatch
+	case workload.DPI:
+		if p.matcher.Contains(req.Body) {
+			return OutNoMatch
+		}
+		return OutForwarded
+	case workload.AUTH:
+		claimed, ok := req.Get("X-AON-MAC")
+		if !ok {
+			return OutParseError
+		}
+		mac := wcrypto.HMAC(workload.AuthKey, req.Body, nil, 0)
+		if hex.EncodeToString(mac[:]) == claimed {
+			return OutForwarded
+		}
+		return OutNoMatch
+	}
+	return OutParseError
+}

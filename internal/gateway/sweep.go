@@ -1,0 +1,86 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// SweepResult is one row of the scaling study: the gateway run with n
+// workers on GOMAXPROCS=n.
+type SweepResult struct {
+	Procs  int      `json:"gomaxprocs"`
+	Report Report   `json:"report"`
+	Server Snapshot `json:"server"`
+}
+
+// RunSweep measures throughput scaling the way the paper's Figures 5/6
+// measure 1-unit→2-unit scaling, but on the live machine: for each entry
+// of procs it sets GOMAXPROCS, starts an in-process gateway on loopback
+// with a worker pool of the same width, drives it with cfg, and tears it
+// down. Like the paper's netperf loopback mode, client and server share
+// the machine, so absolute numbers are conservative; the *shape* of the
+// curve is the comparable result.
+func RunSweep(procs []int, cfg LoadConfig, gw Config) ([]SweepResult, error) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var out []SweepResult
+	for _, n := range procs {
+		if n <= 0 {
+			return out, fmt.Errorf("gateway: invalid GOMAXPROCS %d", n)
+		}
+		runtime.GOMAXPROCS(n)
+		g := gw
+		g.Workers = n
+		srv, err := New(g)
+		if err != nil {
+			return out, err
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			return out, err
+		}
+		c := cfg
+		c.Addr = srv.Addr().String()
+		rep, runErr := RunLoad(c)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		snap := srv.Metrics.Snapshot()
+		shutErr := srv.Shutdown(ctx)
+		cancel()
+		if runErr != nil {
+			return out, runErr
+		}
+		if shutErr != nil {
+			return out, fmt.Errorf("gateway: shutdown at GOMAXPROCS=%d: %w", n, shutErr)
+		}
+		out = append(out, SweepResult{Procs: n, Report: rep, Server: snap})
+	}
+	return out, nil
+}
+
+// FormatSweepTable renders the paper-style scaling table: absolute
+// throughput per width plus the scaling factor relative to the first row
+// (the paper's "performance scalability from one processing unit to two",
+// Section 4.2).
+func FormatSweepTable(rows []SweepResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %9s %9s %9s %9s %8s\n",
+		"GOMAXPROCS", "msgs/s", "Mbps", "p50(us)", "p99(us)", "shed", "scaling")
+	var base float64
+	for _, r := range rows {
+		if base == 0 {
+			base = r.Report.MsgsPerSec
+		}
+		scaling := 0.0
+		if base > 0 {
+			scaling = r.Report.MsgsPerSec / base
+		}
+		fmt.Fprintf(&b, "%-10d %10.0f %9.1f %9d %9d %9d %8.2f\n",
+			r.Procs, r.Report.MsgsPerSec, r.Report.Mbps,
+			r.Report.Latency.P50US, r.Report.Latency.P99US,
+			r.Report.Shed, scaling)
+	}
+	return b.String()
+}

@@ -59,6 +59,16 @@ func (u UseCase) String() string {
 	return "invalid"
 }
 
+// ParseUseCase maps a use-case name ("FR", "cbr", ...) to its UseCase.
+func ParseUseCase(s string) (UseCase, error) {
+	for _, uc := range append(append([]UseCase{}, AllUseCases...), ExtendedUseCases...) {
+		if strings.EqualFold(s, uc.String()) {
+			return uc, nil
+		}
+	}
+	return FR, fmt.Errorf("workload: unknown use case %q", s)
+}
+
 // AllUseCases lists the paper's use cases in its network-I/O-intensive to
 // CPU-intensive order; the evaluation grid (Figures 3-5, Tables 4-6)
 // covers exactly these.
@@ -146,7 +156,14 @@ var customers = []string{
 // SOAPMessage builds message i: a SOAP envelope around a purchase order
 // whose first item quantity is "1" for a fraction of messages (the CBR
 // routing condition), padded with filler elements to MessageBytes.
-func SOAPMessage(i int) []byte {
+func SOAPMessage(i int) []byte { return SOAPMessageSized(i, MessageBytes) }
+
+// SOAPMessageSized is SOAPMessage with an explicit approximate target size
+// in bytes. The order preamble (~1 KB) is a floor; above it the message is
+// padded with <filler> elements to roughly the requested size, so the live
+// load generator can sweep message sizes around the paper's 5 KB default.
+// At least one filler element is always emitted (the schema requires one).
+func SOAPMessageSized(i, size int) []byte {
 	r := rng(uint64(i)*2654435761 + 88172645463325252)
 	r.next()
 
@@ -176,11 +193,13 @@ func SOAPMessage(i int) []byte {
 			fillerWords[r.intn(len(fillerWords))], fillerWords[r.intn(len(fillerWords))])
 	}
 
-	// Filler elements to reach the AONBench 5 KB size.
+	// Filler elements to reach the target size (AONBench default 5 KB).
 	const close = "</purchaseOrder>\n</soap:Body>\n</soap:Envelope>\n"
-	for b.Len() < MessageBytes-len(close)-40 {
+	first := true
+	for first || b.Len() < size-len(close)-40 {
+		first = false
 		b.WriteString("<filler>")
-		for b.Len() < MessageBytes-len(close)-60 {
+		for b.Len() < size-len(close)-60 {
 			b.WriteString(fillerWords[r.intn(len(fillerWords))])
 			b.WriteByte(' ')
 			if r.intn(6) == 0 {
@@ -204,7 +223,12 @@ const TamperEvery = 7
 // requests carry an X-AON-MAC header with the HMAC-SHA1 of the body
 // (corrupted for every TamperEvery-th message).
 func HTTPRequest(i int, uc UseCase) []byte {
-	body := SOAPMessage(i)
+	return HTTPRequestSized(i, uc, MessageBytes)
+}
+
+// HTTPRequestSized is HTTPRequest with an explicit approximate body size.
+func HTTPRequestSized(i int, uc UseCase, size int) []byte {
+	body := SOAPMessageSized(i, size)
 	req := &httpmsg.Request{
 		Method: "POST",
 		Target: fmt.Sprintf("http://aon-gw.example.com/service/%s", uc),
@@ -233,7 +257,12 @@ func HTTPRequest(i int, uc UseCase) []byte {
 // (the paper notes "a modified input message can verify whether the XML
 // server application is executing this use case correctly").
 func InvalidSOAPMessage(i int) []byte {
-	msg := string(SOAPMessage(i))
+	return InvalidSOAPMessageSized(i, MessageBytes)
+}
+
+// InvalidSOAPMessageSized is InvalidSOAPMessage at an explicit size.
+func InvalidSOAPMessageSized(i, size int) []byte {
+	msg := string(SOAPMessageSized(i, size))
 	return []byte(strings.Replace(msg, "<quantity>", "<quantity>x", 1))
 }
 

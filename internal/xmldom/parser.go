@@ -20,21 +20,21 @@ type Parser struct {
 	arena *trace.Arena // synthetic heap for tree nodes
 }
 
-// defaultArena backs uninstrumented parses; addresses are emitted nowhere.
-var defaultArena = trace.NewArena(1<<40, 1<<26)
-
-// Parse parses a document without instrumentation.
+// Parse parses a document without instrumentation. It is safe for
+// concurrent use: each call gets a private scratch arena (the synthetic
+// node addresses are emitted nowhere).
 func Parse(src []byte) (*Node, error) {
 	return ParseInstrumented(src, trace.Nop{}, 0, nil)
 }
 
 // ParseInstrumented parses a document while emitting the equivalent
 // micro-op stream to em. base is the synthetic address of src in the
-// simulated address space; arena provides node placement (nil uses a
-// shared scratch arena, acceptable when em is a no-op).
+// simulated address space; arena provides node placement (nil allocates a
+// private scratch arena, which keeps concurrent uninstrumented parses
+// from sharing allocator state).
 func ParseInstrumented(src []byte, em trace.Emitter, base uint64, arena *trace.Arena) (*Node, error) {
 	if arena == nil {
-		arena = defaultArena
+		arena = trace.NewArena(1<<40, 1<<26)
 	}
 	p := &Parser{src: src, em: em, base: base, arena: arena}
 	doc := p.newNode(Document, "")
