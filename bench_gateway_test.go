@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/gateway"
+	"repro/internal/upstream"
 	"repro/internal/workload"
 )
 
@@ -15,7 +16,11 @@ import (
 // the request wire size, so ns/op and MB/s are directly comparable to
 // the simulated per-message costs.
 func benchGateway(b *testing.B, uc workload.UseCase) {
-	srv, err := gateway.New(gateway.Config{UseCase: uc})
+	benchGatewayCfg(b, uc, gateway.Config{UseCase: uc})
+}
+
+func benchGatewayCfg(b *testing.B, uc workload.UseCase, cfg gateway.Config) {
+	srv, err := gateway.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -57,3 +62,20 @@ func benchGateway(b *testing.B, uc workload.UseCase) {
 func BenchmarkGatewayFR(b *testing.B)  { benchGateway(b, workload.FR) }
 func BenchmarkGatewayCBR(b *testing.B) { benchGateway(b, workload.CBR) }
 func BenchmarkGatewaySV(b *testing.B)  { benchGateway(b, workload.SV) }
+
+// BenchmarkGatewayFRForwarded is BenchmarkGatewayFR with a real upstream
+// hop: the gateway forwards every message to a loopback order backend
+// over the keep-alive pool and relays the ack. The delta against
+// BenchmarkGatewayFR is the forwarding overhead — the second network
+// round trip the paper's end-to-end FR topology adds over in-place mode.
+func BenchmarkGatewayFRForwarded(b *testing.B) {
+	be, err := upstream.StartBackend("127.0.0.1:0", upstream.BackendConfig{Name: "order"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer be.Close()
+	benchGatewayCfg(b, workload.FR, gateway.Config{
+		UseCase:  workload.FR,
+		Upstream: upstream.Config{Order: be.Addr().String()},
+	})
+}

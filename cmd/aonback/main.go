@@ -1,0 +1,59 @@
+// Command aonback is the minimal order/error endpoint of the paper's
+// end-to-end FR topology: the separate backend the AON device forwards
+// to. Run one per endpoint (typically an "order" and an "error"
+// instance), point cmd/aongate at them with -order/-error, and the
+// gateway becomes a true forwarding proxy — on one machine over
+// loopback, or across two machines for the paper's real netperf-style
+// end-to-end setup.
+//
+// Usage:
+//
+//	aonback -addr :9081 -name order                 # order endpoint
+//	aonback -addr :9082 -name error                 # error endpoint
+//	aonback -addr :9081 -resp-size 2048 -delay 2ms  # heavier reverse path
+//
+// -resp-size pads the JSON ack (reverse-path wire cost); -delay emulates
+// backend service time. SIGINT/SIGTERM prints the final request/byte
+// counters as JSON on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/upstream"
+)
+
+func main() {
+	addr := flag.String("addr", ":9081", "listen address")
+	name := flag.String("name", "order", "endpoint role tag: order or error")
+	respSize := flag.Int("resp-size", 128, "approximate response body bytes")
+	delay := flag.Duration("delay", 0, "per-request service delay")
+	flag.Parse()
+
+	srv, err := upstream.StartBackend(*addr, upstream.BackendConfig{
+		Name:      *name,
+		RespBytes: *respSize,
+		Delay:     *delay,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aonback:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "aonback: %s endpoint listening on %s (resp-size=%d delay=%s)\n",
+		*name, srv.Addr(), *respSize, *delay)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	fmt.Printf(`{"name":%q,"requests":%d,"dropped":%d,"bytes_in":%d,"bytes_out":%d,"uptime":%q}`+"\n",
+		*name, srv.Requests.Load(), srv.Failed.Load(),
+		srv.BytesIn.Load(), srv.BytesOut.Load(), time.Since(startTime).Round(time.Millisecond))
+}
+
+var startTime = time.Now()

@@ -7,10 +7,17 @@
 //
 //	aongate -addr :8080                      # serve, default use case FR
 //	aongate -usecase SV -workers 2 -queue 8  # pin pool and queue depth
+//	aongate -order host1:9081 -error host1:9082  # forward to real backends
 //	curl http://localhost:8080/stats         # live metrics JSON
 //
 // Request paths select the use case per message (/service/FR, /service/CBR,
 // /service/SV, /service/DPI, /service/AUTH); other paths run -usecase.
+//
+// With -order/-error set (cmd/aonback instances, local or remote), the
+// gateway is the paper's true forwarding proxy: pipeline outcomes are
+// relayed to the routed backend over pooled keep-alive connections with
+// retries, health marking, and 502/504 mapping; /stats gains a
+// per-backend "upstream" section. Without them it answers in place.
 // SIGINT/SIGTERM drains gracefully (bounded by -drain) and prints the
 // final metrics snapshot as JSON on stdout.
 package main
@@ -27,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/gateway"
+	"repro/internal/upstream"
 	"repro/internal/workload"
 )
 
@@ -38,6 +46,12 @@ func main() {
 	maxBody := flag.Int("max-body", 1<<20, "max POST body bytes")
 	expr := flag.String("expr", "", "CBR XPath override (default //quantity/text())")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	idle := flag.Duration("idle-timeout", 0, "client connection read deadline (0 = 60s default, negative disables)")
+	order := flag.String("order", "", "order backend address (enables upstream forwarding)")
+	errAddr := flag.String("error", "", "error backend address (enables upstream forwarding)")
+	upRetries := flag.Int("up-retries", 0, "extra upstream tries on dial/IO failure (0 = default 2)")
+	upTimeout := flag.Duration("up-timeout", 0, "per-try upstream deadline (0 = default 5s)")
+	upIdle := flag.Int("up-idle", 0, "max idle keep-alive conns per backend (0 = default 8)")
 	flag.Parse()
 
 	uc, err := workload.ParseUseCase(*ucName)
@@ -51,6 +65,14 @@ func main() {
 		QueueDepth:   *queue,
 		MaxBodyBytes: *maxBody,
 		Expr:         *expr,
+		IdleTimeout:  *idle,
+		Upstream: upstream.Config{
+			Order:             *order,
+			Error:             *errAddr,
+			Retries:           *upRetries,
+			TryTimeout:        *upTimeout,
+			MaxIdlePerBackend: *upIdle,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aongate:", err)
@@ -60,8 +82,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aongate:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "aongate: listening on %s (usecase=%s workers=%d GOMAXPROCS=%d)\n",
-		srv.Addr(), uc, srv.Workers(), runtime.GOMAXPROCS(0))
+	mode := "in-place"
+	if *order != "" || *errAddr != "" {
+		mode = fmt.Sprintf("forwarding (order=%s error=%s)", *order, *errAddr)
+	}
+	fmt.Fprintf(os.Stderr, "aongate: listening on %s (usecase=%s workers=%d GOMAXPROCS=%d mode=%s)\n",
+		srv.Addr(), uc, srv.Workers(), runtime.GOMAXPROCS(0), mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -73,6 +99,6 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "aongate: drain incomplete:", err)
 	}
-	b, _ := json.MarshalIndent(srv.Metrics.Snapshot(), "", "  ")
+	b, _ := json.MarshalIndent(srv.Snapshot(), "", "  ")
 	fmt.Println(string(b))
 }

@@ -8,6 +8,7 @@
 //	aonload -addr localhost:8080 -usecase CBR -conns 16 -duration 10s
 //	aonload -usecase SV -n 5000 -size 5120 -invalid-every 3
 //	aonload -sweep 1,2,4 -usecase SV -n 2000   # self-hosted scaling table
+//	aonload -sweep 1,2 -usecase FR -selfback   # ... with real forwarding
 //
 // -sweep replays the paper's 1-unit→2-unit scaling question (Figures 5/6)
 // on the live machine: for each width it sets GOMAXPROCS, starts an
@@ -15,6 +16,11 @@
 // it, and prints a scaling table. Like the paper's netperf loopback mode,
 // client and server share the machine, so the curve shape — not the
 // absolute msgs/s — is the comparable result.
+//
+// In sweep mode, -selfback stands up in-process order/error backends on
+// loopback (or -order/-error point at running cmd/aonback instances), so
+// the swept gateway forwards for real: the table gains the order
+// backend's p50 round-trip latency and the upstream retry count.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/gateway"
+	"repro/internal/upstream"
 	"repro/internal/workload"
 )
 
@@ -40,6 +47,10 @@ func main() {
 	invalidEvery := flag.Int("invalid-every", 0, "make every Nth message schema-invalid (0 = never)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	sweep := flag.String("sweep", "", "comma-separated GOMAXPROCS widths for a self-hosted scaling run (e.g. 1,2,4)")
+	order := flag.String("order", "", "sweep mode: order backend address for the swept gateway")
+	errAddr := flag.String("error", "", "sweep mode: error backend address for the swept gateway")
+	selfback := flag.Bool("selfback", false, "sweep mode: self-host order/error backends on loopback")
+	respSize := flag.Int("resp-size", 128, "self-hosted backend response body bytes")
 	flag.Parse()
 
 	uc, err := workload.ParseUseCase(*ucName)
@@ -64,13 +75,35 @@ func main() {
 			fmt.Fprintln(os.Stderr, "aonload:", err)
 			os.Exit(2)
 		}
-		rows, err := gateway.RunSweep(procs, cfg, gateway.Config{UseCase: uc})
+		up := upstream.Config{Order: *order, Error: *errAddr}
+		if *selfback {
+			for _, role := range []string{"order", "error"} {
+				b, err := upstream.StartBackend("127.0.0.1:0", upstream.BackendConfig{
+					Name: role, RespBytes: *respSize,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "aonload: backend:", err)
+					os.Exit(1)
+				}
+				defer b.Close()
+				if role == "order" {
+					up.Order = b.Addr().String()
+				} else {
+					up.Error = b.Addr().String()
+				}
+			}
+		}
+		rows, err := gateway.RunSweep(procs, cfg, gateway.Config{UseCase: uc, Upstream: up})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aonload:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "aonload: %s scaling sweep, %d conns, %d-byte messages\n",
-			uc, cfg.Conns, cfg.Size)
+		mode := "in-place"
+		if up.Enabled() {
+			mode = fmt.Sprintf("forwarding (order=%s error=%s)", up.Order, up.Error)
+		}
+		fmt.Fprintf(os.Stderr, "aonload: %s scaling sweep, %d conns, %d-byte messages, %s\n",
+			uc, cfg.Conns, cfg.Size, mode)
 		fmt.Fprint(os.Stderr, gateway.FormatSweepTable(rows))
 		b, _ := json.MarshalIndent(rows, "", "  ")
 		fmt.Println(string(b))

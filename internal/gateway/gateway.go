@@ -32,6 +32,8 @@ import (
 	"time"
 
 	"repro/internal/httpmsg"
+	"repro/internal/perf/trace"
+	"repro/internal/upstream"
 	"repro/internal/workload"
 	"repro/internal/xsd"
 )
@@ -57,6 +59,16 @@ type Config struct {
 	// -injection knob for emulating a slower device and for testing the
 	// admission control deterministically.
 	ProcessDelay time.Duration
+	// IdleTimeout is the per-read deadline on client connections: a
+	// connection that goes quiet (between requests or stalled mid-request)
+	// is reaped after this long, so dead clients can't pin connection
+	// readers forever. 0 means the 60s default; negative disables.
+	IdleTimeout time.Duration
+	// Upstream configures real backend forwarding. When a backend is set
+	// for a route, pipeline outcomes routed there are forwarded over
+	// pooled keep-alive connections and the backend's response is relayed;
+	// with no backends the gateway answers in place (the PR 1 behavior).
+	Upstream upstream.Config
 }
 
 // job is one framed request travelling from a connection reader to a
@@ -76,6 +88,7 @@ type response struct {
 type Server struct {
 	cfg     Config
 	pipe    *Pipeline
+	fwd     *upstream.Forwarder // nil: answer in place
 	Metrics *Metrics
 
 	ln       net.Listener
@@ -105,13 +118,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 60 * time.Second
+	}
 	pipe, err := NewPipeline(cfg.UseCase, cfg.Expr, cfg.Schema)
 	if err != nil {
 		return nil, err
 	}
+	var fwd *upstream.Forwarder
+	if cfg.Upstream.Enabled() {
+		fwd, err = upstream.New(cfg.Upstream)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return &Server{
 		cfg:     cfg,
 		pipe:    pipe,
+		fwd:     fwd,
 		Metrics: NewMetrics(),
 		jobs:    make(chan *job, cfg.QueueDepth),
 		conns:   map[net.Conn]struct{}{},
@@ -178,8 +202,21 @@ func (s *Server) handleConn(c net.Conn) {
 	defer s.removeConn(c)
 	br := bufio.NewReaderSize(c, 32<<10)
 	for {
+		// The idle deadline covers one whole request read: a client that
+		// goes quiet between requests *or* stalls mid-request is reaped,
+		// so dead clients can't pin connection readers forever. Pipelined
+		// requests already buffered are served without touching the wire,
+		// so they never trip it.
+		if s.cfg.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		raw, err := readRequest(br, s.cfg.MaxBodyBytes)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.Metrics.IdleTimeouts.Add(1)
+				return
+			}
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				var fe *frameError
 				if errors.As(err, &fe) {
@@ -252,28 +289,97 @@ func (s *Server) process(j *job) response {
 	}
 	uc := s.pipe.SelectUseCase(req.Target)
 	out := s.pipe.Process(uc, req)
-	s.Metrics.Done(out, time.Since(j.start))
 	if out == OutParseError {
+		s.Metrics.Done(out, time.Since(j.start))
 		return response{bytes: formatError(400, "unprocessable message", false)}
 	}
 	connClose := false
 	if v, ok := req.Get("Connection"); ok && strings.EqualFold(v, "close") {
 		connClose = true
 	}
-	body := fmt.Sprintf(`{"usecase":%q,"outcome":%q,"route":%q}`, uc, out, routeOf(out))
-	resp := &httpmsg.Response{
-		Status: 200,
-		Headers: []httpmsg.Header{
-			{Name: "Content-Type", Value: "application/json"},
-			{Name: RouteHeader, Value: routeOf(out)},
-			{Name: "X-AON-Outcome", Value: out.String()},
-		},
-		Body: []byte(body),
+	route := routeOf(out)
+
+	var resp *httpmsg.Response
+	if s.fwd != nil && s.fwd.Has(route) {
+		// Forwarding mode: the paper's device proxies onward — relay the
+		// backend's answer (or map its failure to 502/504, never hang).
+		resp = s.forward(route, uc, out, req)
+	} else {
+		// In-place mode (no backend for this route): synthesize the
+		// routing verdict, the PR 1 behavior.
+		body := fmt.Sprintf(`{"usecase":%q,"outcome":%q,"route":%q}`, uc, out, route)
+		resp = &httpmsg.Response{
+			Status: 200,
+			Headers: []httpmsg.Header{
+				{Name: "Content-Type", Value: "application/json"},
+				{Name: RouteHeader, Value: route},
+				{Name: "X-AON-Outcome", Value: out.String()},
+			},
+			Body: []byte(body),
+		}
 	}
+	s.Metrics.Done(out, time.Since(j.start))
 	if connClose {
 		resp.Headers = append(resp.Headers, httpmsg.Header{Name: "Connection", Value: "close"})
 	}
 	return response{bytes: httpmsg.FormatResponse(resp), close: connClose}
+}
+
+// forward relays one processed message to the route's backend and builds
+// the client-facing response from the backend's answer. Forwarding
+// failures map to 502 (unreachable/down) or 504 (timed out) — bounded by
+// the upstream retry budget, so the client never hangs on a dead
+// backend.
+func (s *Server) forward(route string, uc workload.UseCase, out Outcome, req *httpmsg.Request) *httpmsg.Response {
+	upRaw := httpmsg.FormatRequest(&httpmsg.Request{
+		Method: "POST",
+		Target: httpmsg.RewriteTarget(req, trace.Nop{}),
+		Proto:  "HTTP/1.1",
+		Headers: []httpmsg.Header{
+			{Name: "Host", Value: route},
+			{Name: "Content-Type", Value: contentTypeOf(req)},
+			{Name: RouteHeader, Value: route},
+			{Name: "X-AON-Outcome", Value: out.String()},
+			{Name: "X-AON-Usecase", Value: uc.String()},
+		},
+		Body: req.Body,
+	})
+	res, err := s.fwd.RoundTrip(route, upRaw)
+	if err != nil {
+		s.Metrics.UpstreamErrs.Add(1)
+		status := upstream.StatusFor(err)
+		return &httpmsg.Response{
+			Status: status,
+			Headers: []httpmsg.Header{
+				{Name: "Content-Type", Value: "application/json"},
+				{Name: RouteHeader, Value: route},
+				{Name: "X-AON-Outcome", Value: out.String()},
+			},
+			Body: []byte(fmt.Sprintf(`{"error":%q,"route":%q}`, err.Error(), route)),
+		}
+	}
+	ct := res.ContentType
+	if ct == "" {
+		ct = "application/octet-stream"
+	}
+	return &httpmsg.Response{
+		Status: res.Status,
+		Headers: []httpmsg.Header{
+			{Name: "Content-Type", Value: ct},
+			{Name: RouteHeader, Value: route},
+			{Name: "X-AON-Outcome", Value: out.String()},
+			{Name: "X-AON-Backend", Value: res.Addr},
+		},
+		Body: res.Body,
+	}
+}
+
+// contentTypeOf returns the request's Content-Type (default text/xml).
+func contentTypeOf(req *httpmsg.Request) string {
+	if v, ok := req.Get("Content-Type"); ok {
+		return v
+	}
+	return "text/xml; charset=utf-8"
 }
 
 // handleGet serves the observability surface: GET /stats returns the
@@ -284,7 +390,7 @@ func (s *Server) handleGet(raw []byte) []byte {
 		return formatError(400, err.Error(), false)
 	}
 	if strings.HasSuffix(strings.TrimSuffix(req.Target, "/"), "stats") {
-		b, _ := json.MarshalIndent(s.Metrics.Snapshot(), "", "  ")
+		b, _ := json.MarshalIndent(s.Snapshot(), "", "  ")
 		return httpmsg.FormatResponse(&httpmsg.Response{
 			Status:  200,
 			Headers: []httpmsg.Header{{Name: "Content-Type", Value: "application/json"}},
@@ -296,10 +402,6 @@ func (s *Server) handleGet(raw []byte) []byte {
 
 // formatError builds a small JSON error response.
 func formatError(status int, msg string, connClose bool) []byte {
-	reason := httpmsg.StatusText(status)
-	if status == 503 {
-		reason = "Service Unavailable"
-	}
 	hs := []httpmsg.Header{{Name: "Content-Type", Value: "application/json"}}
 	if status == 503 {
 		hs = append(hs, httpmsg.Header{Name: "Retry-After", Value: "1"})
@@ -309,10 +411,19 @@ func formatError(status int, msg string, connClose bool) []byte {
 	}
 	return httpmsg.FormatResponse(&httpmsg.Response{
 		Status:  status,
-		Reason:  reason,
 		Headers: hs,
 		Body:    []byte(fmt.Sprintf(`{"error":%q}`, msg)),
 	})
+}
+
+// Snapshot reads the full observability surface: the gateway counters
+// plus, in forwarding mode, the per-backend upstream section.
+func (s *Server) Snapshot() Snapshot {
+	snap := s.Metrics.Snapshot()
+	if s.fwd != nil {
+		snap.Upstream = s.fwd.Snapshot()
+	}
+	return snap
 }
 
 // Shutdown drains gracefully: stop accepting, let queued and in-flight
@@ -355,6 +466,9 @@ func (s *Server) shutdown(ctx context.Context) error {
 	s.connWG.Wait()
 	close(s.jobs)
 	s.workerWG.Wait()
+	if s.fwd != nil {
+		s.fwd.Close()
+	}
 	return drained
 }
 
@@ -410,7 +524,10 @@ func readRequest(br *bufio.Reader, maxBody int) ([]byte, error) {
 	if clen > 0 {
 		body := make([]byte, clen)
 		if _, err := io.ReadFull(br, body); err != nil {
-			return nil, &frameError{"truncated body"}
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, &frameError{"truncated body"}
+			}
+			return nil, err // e.g. a deadline expiry mid-body stays a net.Error
 		}
 		buf = append(buf, body...)
 	}

@@ -1,14 +1,17 @@
 package gateway
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
+	"net"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/upstream"
 	"repro/internal/workload"
 )
 
@@ -303,6 +306,264 @@ func TestSweepSmoke(t *testing.T) {
 	table := FormatSweepTable(rows)
 	if !strings.Contains(table, "GOMAXPROCS") || !strings.Contains(table, "scaling") {
 		t.Fatalf("table missing columns:\n%s", table)
+	}
+}
+
+// startBackend brings up one order/error endpoint with teardown.
+func startBackend(t *testing.T, cfg upstream.BackendConfig) *upstream.BackendServer {
+	t.Helper()
+	be, err := upstream.StartBackend("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(be.Close)
+	return be
+}
+
+// TestForwardingEndToEnd is the paper's end-to-end FR topology on
+// loopback: gateway → order/error backends over pooled keep-alive
+// connections, driven by the aonload client code, with the upstream
+// section visible in the stats snapshot. Run under -race in CI.
+func TestForwardingEndToEnd(t *testing.T) {
+	order := startBackend(t, upstream.BackendConfig{Name: "order"})
+	errBE := startBackend(t, upstream.BackendConfig{Name: "error"})
+	srv := startServer(t, Config{Workers: 2, Upstream: upstream.Config{
+		Order: order.Addr().String(),
+		Error: errBE.Addr().String(),
+	}})
+	addr := srv.Addr().String()
+
+	// FR: every message forwards to the order backend; the client sees
+	// the backend's ack body relayed, not a synthesized verdict.
+	rep, err := RunLoad(LoadConfig{Addr: addr, UseCase: workload.FR, Conns: 4, Messages: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 80 || rep.Forwarded != 80 {
+		t.Fatalf("FR: ok=%d forwarded=%d, want 80/80 (%+v)", rep.OK, rep.Forwarded, rep)
+	}
+	if got := order.Requests.Load(); got != 80 {
+		t.Fatalf("order backend saw %d requests, want 80", got)
+	}
+
+	// CBR: the two verdicts split across the two backends.
+	rep, err = RunLoad(LoadConfig{Addr: addr, UseCase: workload.CBR, Conns: 2, Messages: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 60 || rep.Match == 0 || rep.RoutedError == 0 {
+		t.Fatalf("CBR: ok=%d match=%d error=%d (%+v)", rep.OK, rep.Match, rep.RoutedError, rep)
+	}
+	if errBE.Requests.Load() == 0 {
+		t.Fatal("error backend saw no CBR-routed traffic")
+	}
+	if order.Requests.Load()+errBE.Requests.Load() != 140 {
+		t.Fatalf("backends saw %d+%d requests, want 140 total",
+			order.Requests.Load(), errBE.Requests.Load())
+	}
+
+	// The relayed body is the backend's, and the stats snapshot carries
+	// the per-backend upstream section with reuse accounting.
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := cl.Do(workload.HTTPRequest(0, workload.FR), 5*time.Second)
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("direct FR: resp=%+v err=%v", resp, err)
+	}
+	if !strings.Contains(string(resp.Body), `"backend":"order"`) {
+		t.Fatalf("response body not relayed from backend: %.120s", resp.Body)
+	}
+	snap := srv.Snapshot()
+	up, ok := snap.Upstream["order"]
+	if !ok {
+		t.Fatalf("snapshot missing upstream section: %+v", snap)
+	}
+	if up.Forwarded == 0 || up.Latency.Count != up.Forwarded {
+		t.Fatalf("upstream order counters: %+v", up)
+	}
+	if up.PoolHits == 0 {
+		t.Fatal("keep-alive pool never reused a connection")
+	}
+	if up.Dials > uint64(4+2+1) {
+		t.Fatalf("dials=%d — pooling not bounding socket churn", up.Dials)
+	}
+	if snap.UpstreamErrs != 0 {
+		t.Fatalf("unexpected upstream errors: %d", snap.UpstreamErrs)
+	}
+}
+
+// TestForwardingBackendDown: with the backend gone, clients get a
+// prompt 502 (never a hang), the gateway counts upstream errors, and the
+// backend is marked down after the failure threshold.
+func TestForwardingBackendDown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	srv := startServer(t, Config{Workers: 1, Upstream: upstream.Config{
+		Order:         deadAddr,
+		Retries:       1,
+		BackoffBase:   time.Millisecond,
+		DialTimeout:   200 * time.Millisecond,
+		FailThreshold: 2,
+		ProbeInterval: time.Hour, // no recovery during this test
+	}})
+	cl, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	for i := 0; i < 4; i++ {
+		t0 := time.Now()
+		resp, err := cl.Do(workload.HTTPRequest(i, workload.FR), 5*time.Second)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.Status != 502 {
+			t.Fatalf("request %d: status %d, want 502", i, resp.Status)
+		}
+		if el := time.Since(t0); el > 2*time.Second {
+			t.Fatalf("request %d took %v — 502 must be prompt", i, el)
+		}
+	}
+	snap := srv.Snapshot()
+	if snap.UpstreamErrs != 4 {
+		t.Fatalf("upstream_errors=%d, want 4", snap.UpstreamErrs)
+	}
+	up := snap.Upstream["order"]
+	if up.Healthy {
+		t.Fatal("backend should be marked down")
+	}
+	if up.FastFails == 0 {
+		t.Fatal("circuit never fast-failed — every 502 paid a dial")
+	}
+}
+
+// TestForwardingTimeoutMapsTo504: a backend slower than the per-try
+// deadline turns into a client-facing 504.
+func TestForwardingTimeoutMapsTo504(t *testing.T) {
+	slow := startBackend(t, upstream.BackendConfig{Name: "order", Delay: 300 * time.Millisecond})
+	srv := startServer(t, Config{Workers: 1, Upstream: upstream.Config{
+		Order:       slow.Addr().String(),
+		Retries:     -1, // no retries: one deadline expiry answers
+		TryTimeout:  40 * time.Millisecond,
+		BackoffBase: time.Millisecond,
+	}})
+	cl, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := cl.Do(workload.HTTPRequest(0, workload.FR), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 504 {
+		t.Fatalf("status %d, want 504", resp.Status)
+	}
+	if up := srv.Snapshot().Upstream["order"]; up.Timeouts == 0 {
+		t.Fatalf("upstream timeouts=%d, want >0", up.Timeouts)
+	}
+}
+
+// TestIdleTimeoutReapsStalledConn: a client that stalls mid-request (and
+// one that never speaks) is disconnected by the read deadline instead of
+// pinning its reader goroutine forever.
+func TestIdleTimeoutReapsStalledConn(t *testing.T) {
+	srv := startServer(t, Config{Workers: 1, IdleTimeout: 80 * time.Millisecond})
+	addr := srv.Addr().String()
+
+	// Stalls mid-request: headers promise a body that never arrives.
+	stalled, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	if _, err := stalled.Write([]byte("POST /service/FR HTTP/1.1\r\nContent-Length: 100\r\n\r\npartial")); err != nil {
+		t.Fatal(err)
+	}
+	// Never speaks at all.
+	silent, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+
+	for _, c := range []net.Conn{stalled, silent} {
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Fatal("stalled connection not closed by the gateway")
+		} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatal("gateway still holding the stalled connection after 2s")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Metrics.IdleTimeouts.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("idle_timeouts=%d, want 2", srv.Metrics.IdleTimeouts.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A live client on the same server is unaffected between requests
+	// that arrive faster than the deadline.
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		time.Sleep(20 * time.Millisecond)
+		if resp, err := cl.Do(workload.HTTPRequest(i, workload.FR), 5*time.Second); err != nil || resp.Status != 200 {
+			t.Fatalf("live client request %d: resp=%+v err=%v", i, resp, err)
+		}
+	}
+}
+
+// TestPipelinedRequests: two framed POSTs in one write come back as two
+// in-order responses on the same connection — the buffered reader frames
+// them without another wire read, so the idle deadline can't misfire.
+func TestPipelinedRequests(t *testing.T) {
+	srv := startServer(t, Config{Workers: 2, IdleTimeout: 200 * time.Millisecond})
+	c, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// FR then CBR(index 0 → match): distinct outcomes prove ordering.
+	batch := append(append([]byte{}, workload.HTTPRequest(0, workload.FR)...),
+		workload.HTTPRequest(0, workload.CBR)...)
+	if _, err := c.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReaderSize(c, 32<<10)
+	first, err := readResponse(br)
+	if err != nil || first.Status != 200 || first.Outcome != "forwarded" {
+		t.Fatalf("first pipelined response: %+v err=%v", first, err)
+	}
+	second, err := readResponse(br)
+	if err != nil || second.Status != 200 || second.Outcome != "match" {
+		t.Fatalf("second pipelined response: %+v err=%v", second, err)
+	}
+
+	// The connection is still keep-alive: a third, sequential request works.
+	if _, err := c.Write(workload.HTTPRequest(2, workload.SV)); err != nil {
+		t.Fatal(err)
+	}
+	third, err := readResponse(br)
+	if err != nil || third.Status != 200 {
+		t.Fatalf("post-pipeline request: %+v err=%v", third, err)
+	}
+	if got := srv.Metrics.Messages.Load(); got != 3 {
+		t.Fatalf("server messages=%d, want 3", got)
 	}
 }
 

@@ -1,80 +1,20 @@
 package gateway
 
 import (
-	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/lhist"
+	"repro/internal/upstream"
 )
 
-// Hist is a lock-free log2-bucketed latency histogram: bucket k holds
-// observations in [2^(k-1), 2^k) microseconds. 40 buckets cover ~13 days,
-// far beyond any request latency.
-type Hist struct {
-	buckets [40]atomic.Uint64
-	count   atomic.Uint64
-	sumUS   atomic.Uint64
-	maxUS   atomic.Uint64
-}
-
-// Observe records one duration.
-func (h *Hist) Observe(d time.Duration) {
-	us := uint64(d.Microseconds())
-	b := bits.Len64(us)
-	if b >= len(h.buckets) {
-		b = len(h.buckets) - 1
-	}
-	h.buckets[b].Add(1)
-	h.count.Add(1)
-	h.sumUS.Add(us)
-	for {
-		cur := h.maxUS.Load()
-		if us <= cur || h.maxUS.CompareAndSwap(cur, us) {
-			break
-		}
-	}
-}
+// Hist is the shared log2-bucketed latency histogram (internal/lhist),
+// aliased here so the gateway API reads as before the upstream subsystem
+// also needed it.
+type Hist = lhist.Hist
 
 // HistSnapshot is a point-in-time percentile read.
-type HistSnapshot struct {
-	Count  uint64  `json:"count"`
-	MeanUS float64 `json:"mean_us"`
-	P50US  uint64  `json:"p50_us"`
-	P90US  uint64  `json:"p90_us"`
-	P99US  uint64  `json:"p99_us"`
-	MaxUS  uint64  `json:"max_us"`
-}
-
-// Snapshot reads the histogram. Percentiles are upper bucket bounds, so
-// they over-report by at most 2x — adequate for a scaling comparison,
-// and stated in the docs.
-func (h *Hist) Snapshot() HistSnapshot {
-	var counts [40]uint64
-	var total uint64
-	for i := range h.buckets {
-		counts[i] = h.buckets[i].Load()
-		total += counts[i]
-	}
-	s := HistSnapshot{Count: total, MaxUS: h.maxUS.Load()}
-	if total == 0 {
-		return s
-	}
-	s.MeanUS = float64(h.sumUS.Load()) / float64(total)
-	quantile := func(q float64) uint64 {
-		target := uint64(q * float64(total))
-		var seen uint64
-		for i, c := range counts {
-			seen += c
-			if seen > target {
-				return uint64(1) << uint(i) // upper bound of bucket i
-			}
-		}
-		return s.MaxUS
-	}
-	s.P50US = quantile(0.50)
-	s.P90US = quantile(0.90)
-	s.P99US = quantile(0.99)
-	return s
-}
+type HistSnapshot = lhist.Snapshot
 
 // rateRing tracks per-second message completions without locks: slot
 // sec%len holds the count for wall-clock second sec, lazily reset when the
@@ -125,6 +65,8 @@ type Metrics struct {
 	Forwarded    atomic.Uint64 // FR/DPI/AUTH: proxied to the intended endpoint
 	ParseErrors  atomic.Uint64 // malformed HTTP/XML (400s)
 	Shed         atomic.Uint64 // admission control rejections (503s)
+	UpstreamErrs atomic.Uint64 // forwarding failures answered 502/504
+	IdleTimeouts atomic.Uint64 // client connections reaped by the read deadline
 
 	Latency Hist
 	rate    rateRing
@@ -166,10 +108,15 @@ type Snapshot struct {
 	Forwarded    uint64       `json:"forwarded"`
 	ParseErrors  uint64       `json:"parse_errors"`
 	Shed         uint64       `json:"shed_503"`
-	MsgsPerSec   float64      `json:"msgs_per_sec"`   // lifetime average
-	LastSecMsgs  uint64       `json:"last_sec_msgs"`  // most recent full second
-	MbpsIn       float64      `json:"mbps_in"`        // lifetime average
+	UpstreamErrs uint64       `json:"upstream_errors"`
+	IdleTimeouts uint64       `json:"idle_timeouts"`
+	MsgsPerSec   float64      `json:"msgs_per_sec"`  // lifetime average
+	LastSecMsgs  uint64       `json:"last_sec_msgs"` // most recent full second
+	MbpsIn       float64      `json:"mbps_in"`       // lifetime average
 	Latency      HistSnapshot `json:"latency"`
+	// Upstream is the per-backend forwarding view (nil when the gateway
+	// answers in place — no backends configured).
+	Upstream map[string]upstream.Snapshot `json:"upstream,omitempty"`
 }
 
 // Snapshot reads every counter.
@@ -194,6 +141,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		Forwarded:    m.Forwarded.Load(),
 		ParseErrors:  m.ParseErrors.Load(),
 		Shed:         m.Shed.Load(),
+		UpstreamErrs: m.UpstreamErrs.Load(),
+		IdleTimeouts: m.IdleTimeouts.Load(),
 		MsgsPerSec:   float64(msgs) / up,
 		LastSecMsgs:  m.rate.lastSecond(now),
 		MbpsIn:       float64(in) * 8 / 1e6 / up,

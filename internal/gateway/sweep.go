@@ -46,7 +46,7 @@ func RunSweep(procs []int, cfg LoadConfig, gw Config) ([]SweepResult, error) {
 		c.Addr = srv.Addr().String()
 		rep, runErr := RunLoad(c)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		snap := srv.Metrics.Snapshot()
+		snap := srv.Snapshot()
 		shutErr := srv.Shutdown(ctx)
 		cancel()
 		if runErr != nil {
@@ -63,11 +63,25 @@ func RunSweep(procs []int, cfg LoadConfig, gw Config) ([]SweepResult, error) {
 // FormatSweepTable renders the paper-style scaling table: absolute
 // throughput per width plus the scaling factor relative to the first row
 // (the paper's "performance scalability from one processing unit to two",
-// Section 4.2).
+// Section 4.2). When the gateway ran in forwarding mode, two upstream
+// columns appear: the order backend's p50 round-trip latency (the
+// device→endpoint hop the end-to-end FR topology adds) and total retries
+// across backends.
 func FormatSweepTable(rows []SweepResult) string {
+	forwarding := false
+	for _, r := range rows {
+		if len(r.Server.Upstream) > 0 {
+			forwarding = true
+			break
+		}
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %10s %9s %9s %9s %9s %8s\n",
+	fmt.Fprintf(&b, "%-10s %10s %9s %9s %9s %9s %8s",
 		"GOMAXPROCS", "msgs/s", "Mbps", "p50(us)", "p99(us)", "shed", "scaling")
+	if forwarding {
+		fmt.Fprintf(&b, " %10s %8s", "up-p50(us)", "retries")
+	}
+	b.WriteByte('\n')
 	var base float64
 	for _, r := range rows {
 		if base == 0 {
@@ -77,10 +91,21 @@ func FormatSweepTable(rows []SweepResult) string {
 		if base > 0 {
 			scaling = r.Report.MsgsPerSec / base
 		}
-		fmt.Fprintf(&b, "%-10d %10.0f %9.1f %9d %9d %9d %8.2f\n",
+		fmt.Fprintf(&b, "%-10d %10.0f %9.1f %9d %9d %9d %8.2f",
 			r.Procs, r.Report.MsgsPerSec, r.Report.Mbps,
 			r.Report.Latency.P50US, r.Report.Latency.P99US,
 			r.Report.Shed, scaling)
+		if forwarding {
+			var upP50, retries uint64
+			if o, ok := r.Server.Upstream["order"]; ok {
+				upP50 = o.Latency.P50US
+			}
+			for _, s := range r.Server.Upstream {
+				retries += s.Retries
+			}
+			fmt.Fprintf(&b, " %10d %8d", upP50, retries)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

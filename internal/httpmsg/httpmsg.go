@@ -226,6 +226,10 @@ func StatusText(code int) string {
 		return "Unprocessable Entity"
 	case 502:
 		return "Bad Gateway"
+	case 503:
+		return "Service Unavailable"
+	case 504:
+		return "Gateway Timeout"
 	}
 	return "Unknown"
 }

@@ -1,0 +1,57 @@
+package lhist
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuantiles pins the log2-bucket math: percentiles are upper bucket
+// bounds, mean and max are exact.
+func TestQuantiles(t *testing.T) {
+	var h Hist
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i+1) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.MaxUS != 100 {
+		t.Fatalf("count=%d max=%d", s.Count, s.MaxUS)
+	}
+	if s.P50US < 32 || s.P50US > 128 {
+		t.Fatalf("p50=%d out of log-bucket range", s.P50US)
+	}
+	if s.P99US < s.P50US {
+		t.Fatalf("p99=%d < p50=%d", s.P99US, s.P50US)
+	}
+	if s.MeanUS < 49 || s.MeanUS > 52 {
+		t.Fatalf("mean=%f", s.MeanUS)
+	}
+}
+
+// TestEmpty keeps the zero-value snapshot well-defined.
+func TestEmpty(t *testing.T) {
+	var h Hist
+	s := h.Snapshot()
+	if s.Count != 0 || s.MaxUS != 0 || s.MeanUS != 0 {
+		t.Fatalf("zero hist snapshot: %+v", s)
+	}
+}
+
+// TestConcurrentObserve exercises the atomics under -race.
+func TestConcurrentObserve(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count=%d want 8000", s.Count)
+	}
+}

@@ -1,0 +1,208 @@
+package upstream
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BackendConfig parameterizes a BackendServer.
+type BackendConfig struct {
+	// Name tags responses (and the paper topology role): "order" or
+	// "error". Default "order".
+	Name string
+	// RespBytes pads the response body to approximately this size
+	// (default 128) so the reverse path's wire cost is configurable —
+	// the paper's endpoints answer with real payloads.
+	RespBytes int
+	// Delay stalls each response — emulates backend service time so the
+	// FR extreme shows real upstream latency (and tests can force 504s).
+	Delay time.Duration
+	// FailFirst makes the server close the connection without responding
+	// for the first N requests — a fault-injection knob for the
+	// retry-then-success path.
+	FailFirst int
+}
+
+// BackendServer is the minimal order/error endpoint of the paper's
+// end-to-end FR topology: it accepts keep-alive HTTP/1.1 POSTs and
+// answers 200 with a configurable-size JSON ack after a configurable
+// delay. cmd/aonback wraps it; tests and benchmarks embed it so a single
+// process can stand up the full gateway→backend loopback chain.
+type BackendServer struct {
+	cfg BackendConfig
+	ln  net.Listener
+
+	Requests atomic.Uint64 // messages answered
+	Failed   atomic.Uint64 // connections dropped by FailFirst
+	BytesIn  atomic.Uint64
+	BytesOut atomic.Uint64
+	seq      atomic.Uint64 // request sequencing incl. injected failures
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// StartBackend listens on addr and serves until Close.
+func StartBackend(addr string, cfg BackendConfig) (*BackendServer, error) {
+	if cfg.Name == "" {
+		cfg.Name = "order"
+	}
+	if cfg.RespBytes <= 0 {
+		cfg.RespBytes = 128
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &BackendServer{cfg: cfg, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *BackendServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the listener and closes every open connection.
+func (s *BackendServer) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *BackendServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(c)
+	}
+}
+
+func (s *BackendServer) handle(c net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+		s.wg.Done()
+	}()
+	br := bufio.NewReaderSize(c, 32<<10)
+	for {
+		n, err := discardRequest(br)
+		if err != nil {
+			return
+		}
+		s.BytesIn.Add(uint64(n))
+		seq := s.seq.Add(1)
+		if int(seq) <= s.cfg.FailFirst {
+			// Injected fault: drop the connection mid-exchange so the
+			// forwarder sees an IO error, not an HTTP status.
+			s.Failed.Add(1)
+			return
+		}
+		if s.cfg.Delay > 0 {
+			time.Sleep(s.cfg.Delay)
+		}
+		resp := s.response(seq)
+		w, err := c.Write(resp)
+		s.BytesOut.Add(uint64(w))
+		s.Requests.Add(1)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// response builds the padded JSON ack.
+func (s *BackendServer) response(seq uint64) []byte {
+	var body bytes.Buffer
+	fmt.Fprintf(&body, `{"backend":%q,"seq":%d,"requests":%d`, s.cfg.Name, seq, s.Requests.Load()+1)
+	if pad := s.cfg.RespBytes - body.Len() - 9; pad > 0 {
+		body.WriteString(`,"pad":"`)
+		body.Write(bytes.Repeat([]byte{'x'}, pad))
+		body.WriteByte('"')
+	}
+	body.WriteByte('}')
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", body.Len())
+	b.Write(body.Bytes())
+	return b.Bytes()
+}
+
+// discardRequest frames one HTTP/1.1 request off the wire (header block
+// to the blank line, then Content-Length body bytes) and throws it away,
+// returning the wire size. The backend's job is to terminate the hop,
+// not to re-process XML the gateway already handled.
+func discardRequest(br *bufio.Reader) (int, error) {
+	total := 0
+	clen := 0
+	sawHeader := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			if err == io.EOF && total == 0 && line == "" {
+				return 0, io.EOF
+			}
+			return 0, err
+		}
+		total += len(line)
+		if total > 64<<10 {
+			return 0, errors.New("backend: header block too large")
+		}
+		trimmed := strings.TrimRight(line, "\r\n")
+		if trimmed == "" {
+			if sawHeader {
+				break
+			}
+			total = 0 // tolerate blank lines before the request line
+			continue
+		}
+		sawHeader = true
+		if i := strings.IndexByte(trimmed, ':'); i > 0 {
+			if strings.EqualFold(strings.TrimSpace(trimmed[:i]), "Content-Length") {
+				n, err := strconv.Atoi(strings.TrimSpace(trimmed[i+1:]))
+				if err != nil || n < 0 {
+					return 0, errors.New("backend: bad Content-Length")
+				}
+				clen = n
+			}
+		}
+	}
+	if clen > 0 {
+		if _, err := io.CopyN(io.Discard, br, int64(clen)); err != nil {
+			return 0, err
+		}
+		total += clen
+	}
+	return total, nil
+}

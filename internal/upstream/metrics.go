@@ -1,0 +1,61 @@
+package upstream
+
+import (
+	"sync/atomic"
+
+	"repro/internal/lhist"
+)
+
+// metrics is one backend's counter set, folded into the gateway's /stats
+// snapshot so the upstream half of a forwarded round trip is observable
+// next to the gateway's own service times.
+type metrics struct {
+	Forwarded atomic.Uint64 // successful round trips
+	Retries   atomic.Uint64 // extra tries beyond the first
+	Failures  atomic.Uint64 // failed tries (dial or IO)
+	Timeouts  atomic.Uint64 // failed tries that were deadline expiries
+	FastFails atomic.Uint64 // shed without dialing: circuit open
+	Dials     atomic.Uint64 // pool misses (new sockets)
+	PoolHits  atomic.Uint64 // pool hits (reused sockets)
+	Downs     atomic.Uint64 // transitions to down
+	Probes    atomic.Uint64 // recovery probes attempted
+	Latency   lhist.Hist    // successful round-trip latency
+}
+
+// Snapshot is one backend's point-in-time JSON shape under the
+// gateway's /stats "upstream" section.
+type Snapshot struct {
+	Addr      string         `json:"addr"`
+	Healthy   bool           `json:"healthy"`
+	Forwarded uint64         `json:"forwarded"`
+	Retries   uint64         `json:"retries"`
+	Failures  uint64         `json:"failures"`
+	Timeouts  uint64         `json:"timeouts"`
+	FastFails uint64         `json:"fastfail_down"`
+	Dials     uint64         `json:"dials_pool_miss"`
+	PoolHits  uint64         `json:"pool_hits"`
+	OpenConns int64          `json:"open_conns"`
+	IdleConns int            `json:"idle_conns"`
+	Downs     uint64         `json:"marked_down"`
+	Probes    uint64         `json:"probes"`
+	Latency   lhist.Snapshot `json:"latency"`
+}
+
+func (b *Backend) snapshot() Snapshot {
+	return Snapshot{
+		Addr:      b.addr,
+		Healthy:   b.hp.healthy(),
+		Forwarded: b.m.Forwarded.Load(),
+		Retries:   b.m.Retries.Load(),
+		Failures:  b.m.Failures.Load(),
+		Timeouts:  b.m.Timeouts.Load(),
+		FastFails: b.m.FastFails.Load(),
+		Dials:     b.m.Dials.Load(),
+		PoolHits:  b.m.PoolHits.Load(),
+		OpenConns: b.pool.open.Load(),
+		IdleConns: b.pool.idleCount(),
+		Downs:     b.m.Downs.Load(),
+		Probes:    b.m.Probes.Load(),
+		Latency:   b.m.Latency.Snapshot(),
+	}
+}

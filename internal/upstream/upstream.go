@@ -1,0 +1,342 @@
+// Package upstream turns the live gateway into a true forwarding proxy —
+// the missing half of the paper's topology. The AON device under test is
+// a *proxy*: FR is "HTTP Forward Request" and CBR/SV route messages
+// onward to an order or error endpoint (Section 3.2.1), so the network
+// I/O half of the I/O↔CPU spectrum (the FR extreme of Figures 5/6) only
+// exists end-to-end when the gateway actually forwards to a separate
+// backend over the network instead of answering in place.
+//
+// The subsystem is a router (pipeline outcome → backend) over per-backend
+// resilient transports: a bounded keep-alive connection pool with dial
+// and per-try deadlines, bounded retries with jittered exponential
+// backoff on dial/IO failure, and circuit-style health marking with
+// passive recovery probes so a dead backend costs a fast 502, not a
+// pileup of dial timeouts. Per-backend counters and latency histograms
+// fold into the gateway's /stats.
+package upstream
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Config parameterizes the forwarder. Zero-valued knobs take the
+// defaults documented per field; an entirely zero Config disables
+// forwarding (Enabled returns false) and the gateway answers in place,
+// exactly as before backends existed.
+type Config struct {
+	// Order and Error are the TCP addresses of the paper's two endpoints.
+	// Messages whose pipeline outcome routes to "order" go to Order,
+	// "error"-routed messages to Error. Either may be empty; a route with
+	// no backend is answered in place by the gateway.
+	Order string
+	Error string
+	// MaxIdlePerBackend bounds each backend's keep-alive idle set
+	// (default 8).
+	MaxIdlePerBackend int
+	// DialTimeout bounds connection establishment (default 1s).
+	DialTimeout time.Duration
+	// TryTimeout is the per-try write+read deadline (default 5s).
+	TryTimeout time.Duration
+	// Retries is the number of extra tries after the first on dial/IO
+	// failure (default 2). Negative means no retries.
+	Retries int
+	// BackoffBase seeds the jittered exponential backoff between tries
+	// (default 5ms; doubled per retry, plus up to one base of jitter).
+	BackoffBase time.Duration
+	// FailThreshold is the consecutive-failure count that marks a backend
+	// down (default 3).
+	FailThreshold int
+	// ProbeInterval is the minimum spacing between passive recovery
+	// probes while a backend is down (default 1s).
+	ProbeInterval time.Duration
+}
+
+// Enabled reports whether any backend is configured.
+func (c Config) Enabled() bool { return c.Order != "" || c.Error != "" }
+
+func (c Config) withDefaults() Config {
+	if c.MaxIdlePerBackend <= 0 {
+		c.MaxIdlePerBackend = 8
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.TryTimeout <= 0 {
+		c.TryTimeout = 5 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 5 * time.Millisecond
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	return c
+}
+
+// Sentinel errors; StatusFor maps them (and raw net errors) to the
+// gateway status code.
+var (
+	// ErrDown fast-fails a round trip while the backend circuit is open.
+	ErrDown = errors.New("upstream: backend down")
+	// ErrNoBackend means the route has no configured backend; the caller
+	// answers in place.
+	ErrNoBackend = errors.New("upstream: no backend for route")
+)
+
+// StatusFor maps a RoundTrip error to the client-facing status: 504 for
+// deadline expiry (the backend exists but did not answer in time), 502
+// for everything else (dial refused, IO failure, circuit open).
+func StatusFor(err error) int {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return 504
+	}
+	return 502
+}
+
+// Result is one successful upstream round trip.
+type Result struct {
+	Status      int
+	ContentType string
+	Body        []byte
+	Backend     string // backend name ("order"/"error")
+	Addr        string
+	Reused      bool // the winning try used a pooled connection
+	Tries       int  // total tries spent (1 = first try won)
+}
+
+// Backend is one resilient upstream transport: address, pool, circuit
+// state, counters.
+type Backend struct {
+	name string
+	addr string
+	cfg  Config
+	pool *pool
+	hp   health
+	m    metrics
+}
+
+// Forwarder routes pipeline outcomes to backends.
+type Forwarder struct {
+	cfg      Config
+	backends map[string]*Backend
+}
+
+// New builds a forwarder from the configured backends. Callers should
+// check cfg.Enabled() first; New on a disabled config returns an error.
+func New(cfg Config) (*Forwarder, error) {
+	if !cfg.Enabled() {
+		return nil, errors.New("upstream: no backends configured")
+	}
+	cfg = cfg.withDefaults()
+	f := &Forwarder{cfg: cfg, backends: map[string]*Backend{}}
+	for name, addr := range map[string]string{"order": cfg.Order, "error": cfg.Error} {
+		if addr == "" {
+			continue
+		}
+		if _, _, err := net.SplitHostPort(addr); err != nil {
+			return nil, fmt.Errorf("upstream: bad %s backend address %q: %w", name, addr, err)
+		}
+		f.backends[name] = &Backend{
+			name: name,
+			addr: addr,
+			cfg:  cfg,
+			pool: newPool(addr, cfg.MaxIdlePerBackend, cfg.DialTimeout),
+		}
+	}
+	return f, nil
+}
+
+// Has reports whether a route has a configured backend.
+func (f *Forwarder) Has(route string) bool {
+	_, ok := f.backends[route]
+	return ok
+}
+
+// Backend exposes one backend (nil if the route is unconfigured) —
+// used by tests and the sweep reporter.
+func (f *Forwarder) Backend(route string) *Backend { return f.backends[route] }
+
+// Snapshot reads every backend's counters, keyed by route name.
+func (f *Forwarder) Snapshot() map[string]Snapshot {
+	out := make(map[string]Snapshot, len(f.backends))
+	for name, b := range f.backends {
+		out[name] = b.snapshot()
+	}
+	return out
+}
+
+// Close tears down every pool's idle sockets.
+func (f *Forwarder) Close() {
+	for _, b := range f.backends {
+		b.pool.Close()
+	}
+}
+
+// RoundTrip forwards one raw HTTP request to the route's backend and
+// returns the parsed response. It retries dial/IO failures with jittered
+// backoff, fast-fails while the circuit is open, and never blocks past
+// (Retries+1) × (TryTimeout + backoff).
+func (f *Forwarder) RoundTrip(route string, raw []byte) (*Result, error) {
+	b, ok := f.backends[route]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoBackend, route)
+	}
+	return b.roundTrip(raw)
+}
+
+func (b *Backend) roundTrip(raw []byte) (*Result, error) {
+	var lastErr error
+	tries := b.cfg.Retries + 1
+	for try := 1; try <= tries; try++ {
+		if try > 1 {
+			b.m.Retries.Add(1)
+			b.backoff(try - 1)
+		}
+		ok, isProbe := b.hp.allow(time.Now(), b.cfg.ProbeInterval)
+		if !ok {
+			// Circuit open and no probe due: retrying locally is pointless,
+			// the caller sheds with 502 immediately.
+			b.m.FastFails.Add(1)
+			return nil, fmt.Errorf("%s %s: %w", b.name, b.addr, ErrDown)
+		}
+		if isProbe {
+			b.m.Probes.Add(1)
+		}
+		t0 := time.Now()
+		res, err := b.try(raw)
+		if err == nil {
+			b.hp.onSuccess()
+			b.m.Forwarded.Add(1)
+			b.m.Latency.Observe(time.Since(t0))
+			res.Backend, res.Addr, res.Tries = b.name, b.addr, try
+			return res, nil
+		}
+		lastErr = err
+		b.m.Failures.Add(1)
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			b.m.Timeouts.Add(1)
+		}
+		if b.hp.onFailure(b.cfg.FailThreshold) {
+			b.m.Downs.Add(1)
+		}
+	}
+	return nil, fmt.Errorf("upstream %s %s: %w", b.name, b.addr, lastErr)
+}
+
+// backoff sleeps the jittered exponential delay before retry n (1-based).
+func (b *Backend) backoff(n int) {
+	d := b.cfg.BackoffBase << uint(n-1)
+	d += time.Duration(rand.Int64N(int64(b.cfg.BackoffBase) + 1))
+	time.Sleep(d)
+}
+
+// try performs one attempt on one connection: checkout (pool hit or
+// fresh dial), per-try deadline, write, read a full response. Any IO
+// error closes the socket — a keep-alive conn in unknown state must not
+// return to the pool.
+func (b *Backend) try(raw []byte) (*Result, error) {
+	pc, pooled, err := b.pool.get()
+	if err != nil {
+		b.m.Dials.Add(1) // the miss happened even though the dial failed
+		return nil, err
+	}
+	if pooled {
+		b.m.PoolHits.Add(1)
+	} else {
+		b.m.Dials.Add(1)
+	}
+	pc.c.SetDeadline(time.Now().Add(b.cfg.TryTimeout))
+	if _, err := pc.c.Write(raw); err != nil {
+		b.pool.discard(pc)
+		return nil, err
+	}
+	res, keepAlive, err := readResponse(pc.br)
+	if err != nil {
+		b.pool.discard(pc)
+		return nil, err
+	}
+	pc.c.SetDeadline(time.Time{})
+	res.Reused = pc.reused
+	if keepAlive {
+		b.pool.put(pc)
+	} else {
+		b.pool.discard(pc)
+	}
+	return res, nil
+}
+
+// readResponse parses status line, headers (capturing Content-Type,
+// Content-Length, Connection), and the body. keepAlive reports whether
+// the socket may be pooled afterwards.
+func readResponse(br *bufio.Reader) (res *Result, keepAlive bool, err error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, false, err
+	}
+	parts := strings.SplitN(strings.TrimRight(line, "\r\n"), " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, false, fmt.Errorf("upstream: malformed status line %q", line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, false, fmt.Errorf("upstream: bad status %q", parts[1])
+	}
+	res = &Result{Status: status}
+	keepAlive = true
+	clen := 0
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, false, err
+		}
+		h := strings.TrimRight(line, "\r\n")
+		if h == "" {
+			break
+		}
+		i := strings.IndexByte(h, ':')
+		if i <= 0 {
+			continue
+		}
+		name, val := strings.TrimSpace(h[:i]), strings.TrimSpace(h[i+1:])
+		switch {
+		case strings.EqualFold(name, "Content-Length"):
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, false, fmt.Errorf("upstream: bad Content-Length %q", val)
+			}
+			clen = n
+		case strings.EqualFold(name, "Content-Type"):
+			res.ContentType = val
+		case strings.EqualFold(name, "Connection"):
+			if strings.EqualFold(val, "close") {
+				keepAlive = false
+			}
+		}
+	}
+	if clen > 0 {
+		res.Body = make([]byte, clen)
+		if _, err := io.ReadFull(br, res.Body); err != nil {
+			return nil, false, err
+		}
+	}
+	return res, keepAlive, nil
+}

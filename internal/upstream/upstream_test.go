@@ -1,0 +1,287 @@
+package upstream
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testRequest is a minimal framed POST the backend can discard.
+func testRequest(n int) []byte {
+	body := fmt.Sprintf(`<order><quantity>%d</quantity></order>`, n)
+	return []byte(fmt.Sprintf(
+		"POST /service/FR HTTP/1.1\r\nHost: order\r\nContent-Length: %d\r\n\r\n%s",
+		len(body), body))
+}
+
+// fastCfg keeps retry/backoff/probe delays test-sized.
+func fastCfg(order string) Config {
+	return Config{
+		Order:         order,
+		DialTimeout:   500 * time.Millisecond,
+		TryTimeout:    2 * time.Second,
+		BackoffBase:   time.Millisecond,
+		ProbeInterval: 25 * time.Millisecond,
+	}
+}
+
+// TestPoolReuse: sequential round trips ride one keep-alive socket — one
+// dial, the rest pool hits — and the idle/open gauges agree.
+func TestPoolReuse(t *testing.T) {
+	be, err := StartBackend("127.0.0.1:0", BackendConfig{Name: "order"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	f, err := New(fastCfg(be.Addr().String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		res, err := f.RoundTrip("order", testRequest(i))
+		if err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+		if res.Status != 200 || res.Backend != "order" {
+			t.Fatalf("round trip %d: %+v", i, res)
+		}
+		if wantReused := i > 0; res.Reused != wantReused {
+			t.Fatalf("round trip %d: reused=%v want %v", i, res.Reused, wantReused)
+		}
+	}
+	s := f.Snapshot()["order"]
+	if s.Dials != 1 || s.PoolHits != n-1 {
+		t.Fatalf("dials=%d hits=%d, want 1/%d", s.Dials, s.PoolHits, n-1)
+	}
+	if s.OpenConns != 1 || s.IdleConns != 1 {
+		t.Fatalf("open=%d idle=%d, want 1/1", s.OpenConns, s.IdleConns)
+	}
+	if s.Forwarded != n || s.Latency.Count != n {
+		t.Fatalf("forwarded=%d latency.count=%d, want %d", s.Forwarded, s.Latency.Count, n)
+	}
+	if be.Requests.Load() != n {
+		t.Fatalf("backend saw %d requests, want %d", be.Requests.Load(), n)
+	}
+}
+
+// TestRetryThenSuccess: the backend drops the first two exchanges
+// mid-flight; the forwarder re-dials and the third try wins.
+func TestRetryThenSuccess(t *testing.T) {
+	be, err := StartBackend("127.0.0.1:0", BackendConfig{Name: "order", FailFirst: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	cfg := fastCfg(be.Addr().String())
+	cfg.Retries = 2
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	res, err := f.RoundTrip("order", testRequest(0))
+	if err != nil {
+		t.Fatalf("round trip should survive two injected failures: %v", err)
+	}
+	if res.Tries != 3 {
+		t.Fatalf("tries=%d, want 3", res.Tries)
+	}
+	s := f.Snapshot()["order"]
+	if s.Retries != 2 || s.Failures != 2 || s.Forwarded != 1 {
+		t.Fatalf("retries=%d failures=%d forwarded=%d, want 2/2/1", s.Retries, s.Failures, s.Forwarded)
+	}
+	if !s.Healthy {
+		t.Fatal("two failures under threshold 3 must not mark down")
+	}
+}
+
+// TestDownFastFailAndRecovery is the circuit's life cycle: consecutive
+// dial failures mark the backend down, traffic then sheds 502 without
+// dialing, and once the backend returns, the next probe restores it.
+func TestDownFastFailAndRecovery(t *testing.T) {
+	// Reserve a port, then close it so dials are refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cfg := fastCfg(addr)
+	cfg.Retries = 0
+	cfg.FailThreshold = 2
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 0; i < 2; i++ {
+		if _, err := f.RoundTrip("order", testRequest(i)); err == nil {
+			t.Fatalf("round trip %d should fail against a closed port", i)
+		} else if StatusFor(err) != 502 {
+			t.Fatalf("round trip %d: status %d, want 502", i, StatusFor(err))
+		}
+	}
+	s := f.Snapshot()["order"]
+	if s.Healthy || s.Downs != 1 {
+		t.Fatalf("after threshold failures: healthy=%v downs=%d", s.Healthy, s.Downs)
+	}
+
+	// Circuit open: fast-fail without another dial (probe not yet due).
+	dialsBefore := s.Dials
+	if _, err := f.RoundTrip("order", testRequest(2)); !errors.Is(err, ErrDown) {
+		t.Fatalf("want ErrDown while circuit open, got %v", err)
+	}
+	s = f.Snapshot()["order"]
+	if s.Dials != dialsBefore || s.FastFails == 0 {
+		t.Fatalf("fast-fail dialed: dials %d→%d fastfails=%d", dialsBefore, s.Dials, s.FastFails)
+	}
+
+	// Backend comes back on the same port; after ProbeInterval the next
+	// request is the probe and restores the circuit.
+	be, err := StartBackend(addr, BackendConfig{Name: "order"})
+	if err != nil {
+		t.Fatalf("restart backend on %s: %v", addr, err)
+	}
+	defer be.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := f.RoundTrip("order", testRequest(3))
+		if err == nil {
+			if res.Status != 200 {
+				t.Fatalf("recovered round trip: %+v", res)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backend never recovered: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s = f.Snapshot()["order"]
+	if !s.Healthy || s.Probes == 0 {
+		t.Fatalf("after recovery: healthy=%v probes=%d", s.Healthy, s.Probes)
+	}
+}
+
+// TestTryTimeoutMapsTo504: a backend slower than the per-try deadline is
+// a 504, counted as a timeout, and the round trip returns promptly.
+func TestTryTimeoutMapsTo504(t *testing.T) {
+	be, err := StartBackend("127.0.0.1:0", BackendConfig{Name: "order", Delay: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	cfg := fastCfg(be.Addr().String())
+	cfg.TryTimeout = 30 * time.Millisecond
+	cfg.Retries = 1
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	t0 := time.Now()
+	_, err = f.RoundTrip("order", testRequest(0))
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	if StatusFor(err) != 504 {
+		t.Fatalf("status %d, want 504 (%v)", StatusFor(err), err)
+	}
+	if el := time.Since(t0); el > 2*time.Second {
+		t.Fatalf("timed-out round trip took %v — per-try deadline not enforced", el)
+	}
+	if s := f.Snapshot()["order"]; s.Timeouts == 0 {
+		t.Fatalf("timeouts=%d, want >0", s.Timeouts)
+	}
+}
+
+// TestNoBackendRoute: a route without a configured backend is the
+// caller's cue to answer in place.
+func TestNoBackendRoute(t *testing.T) {
+	be, err := StartBackend("127.0.0.1:0", BackendConfig{Name: "order"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	f, err := New(fastCfg(be.Addr().String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Has("error") {
+		t.Fatal("error route should be unconfigured")
+	}
+	if _, err := f.RoundTrip("error", testRequest(0)); !errors.Is(err, ErrNoBackend) {
+		t.Fatalf("want ErrNoBackend, got %v", err)
+	}
+}
+
+// TestConfigValidation: disabled config and junk addresses are rejected.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New on empty config should fail")
+	}
+	if _, err := New(Config{Order: "no-port"}); err == nil {
+		t.Fatal("New on a port-less address should fail")
+	}
+}
+
+// TestReadResponse pins the response parser: keep-alive detection and
+// malformed input.
+func TestReadResponse(t *testing.T) {
+	res, ka, err := readResponse(bufio.NewReader(strings.NewReader(
+		"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\nhi")))
+	if err != nil || !ka || res.Status != 200 || string(res.Body) != "hi" {
+		t.Fatalf("res=%+v ka=%v err=%v", res, ka, err)
+	}
+	_, ka, err = readResponse(bufio.NewReader(strings.NewReader(
+		"HTTP/1.1 502 Bad Gateway\r\nConnection: close\r\nContent-Length: 0\r\n\r\n")))
+	if err != nil || ka {
+		t.Fatalf("Connection: close not detected (ka=%v err=%v)", ka, err)
+	}
+	if _, _, err := readResponse(bufio.NewReader(strings.NewReader("garbage\r\n\r\n"))); err == nil {
+		t.Fatal("malformed status line should error")
+	}
+}
+
+// TestBackendKeepAlive: the backend serves sequential requests on one
+// connection and pads responses to the configured size.
+func TestBackendKeepAlive(t *testing.T) {
+	be, err := StartBackend("127.0.0.1:0", BackendConfig{Name: "error", RespBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	c, err := net.Dial("tcp", be.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	br := bufio.NewReader(c)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Write(testRequest(i)); err != nil {
+			t.Fatal(err)
+		}
+		res, ka, err := readResponse(br)
+		if err != nil || !ka || res.Status != 200 {
+			t.Fatalf("req %d: res=%+v ka=%v err=%v", i, res, ka, err)
+		}
+		if len(res.Body) < 500 || !strings.Contains(string(res.Body), `"backend":"error"`) {
+			t.Fatalf("req %d: body %d bytes: %.80s", i, len(res.Body), res.Body)
+		}
+	}
+	if got := be.Requests.Load(); got != 3 {
+		t.Fatalf("backend requests=%d, want 3", got)
+	}
+}
