@@ -16,8 +16,13 @@
 // With -order/-error set (cmd/aonback instances, local or remote), the
 // gateway is the paper's true forwarding proxy: pipeline outcomes are
 // relayed to the routed backend over pooled keep-alive connections with
-// retries, health marking, and 502/504 mapping; /stats gains a
-// per-backend "upstream" section. Without them it answers in place.
+// retries, background health probing, and 502/504 mapping; /stats gains
+// a per-backend "upstream" section. Without them it answers in place.
+//
+// With -counters, /stats gains a "counters" section: windowed
+// perf_event_open deltas and derived CPI/cache-MPI/BrMPR (the paper's
+// VTune metrics on live hardware), degrading to runtime-metrics-only
+// with a startup notice where perf events are denied.
 // SIGINT/SIGTERM drains gracefully (bounded by -drain) and prints the
 // final metrics snapshot as JSON on stdout.
 package main
@@ -52,6 +57,9 @@ func main() {
 	upRetries := flag.Int("up-retries", 0, "extra upstream tries on dial/IO failure (0 = default 2)")
 	upTimeout := flag.Duration("up-timeout", 0, "per-try upstream deadline (0 = default 5s)")
 	upIdle := flag.Int("up-idle", 0, "max idle keep-alive conns per backend (0 = default 8)")
+	upMinIdle := flag.Int("up-min-idle", 0, "pre-warm each backend pool to this many idle conns (0 = off)")
+	upLifetime := flag.Duration("up-max-lifetime", 0, "evict pooled backend conns older than this (0 = no limit)")
+	hwCounters := flag.Bool("counters", false, "enable the live measurement layer: perf_event_open counters on /stats (falls back to runtime metrics where perf is denied)")
 	flag.Parse()
 
 	uc, err := workload.ParseUseCase(*ucName)
@@ -72,7 +80,10 @@ func main() {
 			Retries:           *upRetries,
 			TryTimeout:        *upTimeout,
 			MaxIdlePerBackend: *upIdle,
+			MinIdlePerBackend: *upMinIdle,
+			MaxConnLifetime:   *upLifetime,
 		},
+		Counters: *hwCounters,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aongate:", err)
@@ -88,6 +99,13 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "aongate: listening on %s (usecase=%s workers=%d GOMAXPROCS=%d mode=%s)\n",
 		srv.Addr(), uc, srv.Workers(), runtime.GOMAXPROCS(0), mode)
+	if cmode, notice := srv.CountersMode(); cmode != "off" {
+		fmt.Fprintf(os.Stderr, "aongate: counters mode=%s", cmode)
+		if notice != "" {
+			fmt.Fprintf(os.Stderr, " — %s", notice)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -21,6 +21,13 @@
 // loopback (or -order/-error point at running cmd/aonback instances), so
 // the swept gateway forwards for real: the table gains the order
 // backend's p50 round-trip latency and the upstream retry count.
+//
+// -counters adds the paper's counter columns to the sweep table: per-
+// GOMAXPROCS CPI and BrMPR measured with perf_event_open (Tables 4/6
+// next to the Figures 5/6 scaling curve) plus the GC CPU share. Where
+// perf events are denied the sweep still completes, printing runtime-
+// metrics-backed rows with model-predicted derived values and a one-line
+// notice.
 package main
 
 import (
@@ -51,6 +58,7 @@ func main() {
 	errAddr := flag.String("error", "", "sweep mode: error backend address for the swept gateway")
 	selfback := flag.Bool("selfback", false, "sweep mode: self-host order/error backends on loopback")
 	respSize := flag.Int("resp-size", 128, "self-hosted backend response body bytes")
+	hwCounters := flag.Bool("counters", false, "sweep mode: per-width CPI/BrMPR columns from perf_event_open (runtime-metrics fallback where denied)")
 	flag.Parse()
 
 	uc, err := workload.ParseUseCase(*ucName)
@@ -93,7 +101,7 @@ func main() {
 				}
 			}
 		}
-		rows, err := gateway.RunSweep(procs, cfg, gateway.Config{UseCase: uc, Upstream: up})
+		rows, err := gateway.RunSweep(procs, cfg, gateway.Config{UseCase: uc, Upstream: up, Counters: *hwCounters})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aonload:", err)
 			os.Exit(1)
@@ -104,6 +112,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "aonload: %s scaling sweep, %d conns, %d-byte messages, %s\n",
 			uc, cfg.Conns, cfg.Size, mode)
+		if *hwCounters && len(rows) > 0 && rows[0].Server.Counters != nil {
+			c := rows[0].Server.Counters
+			if c.Mode == "runtime-only" {
+				fmt.Fprintf(os.Stderr, "aonload: counters: %s\n", c.Notice)
+			} else {
+				fmt.Fprintf(os.Stderr, "aonload: counters: hardware mode (perf_event_open)\n")
+			}
+		}
 		fmt.Fprint(os.Stderr, gateway.FormatSweepTable(rows))
 		b, _ := json.MarshalIndent(rows, "", "  ")
 		fmt.Println(string(b))

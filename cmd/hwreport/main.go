@@ -1,0 +1,146 @@
+// Command hwreport closes the loop between the two halves of the
+// reproduction: for each paper use case (FR, CBR, SV) it runs the
+// simulated machine (the internal/vtune counter methodology, as
+// cmd/vtunereport does) to get the model's predicted CPI / L2MPI /
+// branch-frequency / BrMPR, then stands up the live gateway with the
+// perf_event_open measurement layer on loopback, drives it with real
+// load, and prints a side-by-side text (or -json) report of simulated
+// prediction vs live hardware measurement.
+//
+// On hosts where perf events are denied (unprivileged containers, CI)
+// the live column degrades to the runtime-only fallback and the report
+// says so — the command never fails for lack of a PMU.
+//
+// Usage:
+//
+//	hwreport                         # 2CPm prediction vs live, all three use cases
+//	hwreport -config 2PPx -n 5000    # different simulated config, longer live run
+//	hwreport -json                   # machine-readable rows
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/harness"
+	"repro/internal/hwcount"
+	"repro/internal/perf/counters"
+	"repro/internal/perf/machine"
+	"repro/internal/workload"
+)
+
+// Row is one use case's comparison: the simulated machine's predicted
+// metrics next to the live gateway's measured (or fallback) ones.
+type Row struct {
+	UseCase      string                    `json:"usecase"`
+	SimConfig    string                    `json:"sim_config"`
+	SimMsgsPerS  float64                   `json:"sim_msgs_per_sec"`
+	Sim          counters.Metrics          `json:"sim"`
+	LiveMode     string                    `json:"live_mode"`
+	LiveMsgsPerS float64                   `json:"live_msgs_per_sec"`
+	Live         hwcount.Derived           `json:"live"`
+	LiveCounters *gateway.CountersSnapshot `json:"live_counters,omitempty"`
+}
+
+func main() {
+	cfgName := flag.String("config", "2CPm", "simulated system: 1CPm, 2CPm, 1LPx, 2LPx, 2PPx")
+	simMsgs := flag.Int("sim-msgs", 240, "simulated messages per use case (measurement window)")
+	liveMsgs := flag.Int("n", 2000, "live messages per use case")
+	conns := flag.Int("conns", 8, "live concurrent connections")
+	size := flag.Int("size", workload.MessageBytes, "live POST body bytes")
+	asJSON := flag.Bool("json", false, "emit JSON rows instead of the text table")
+	flag.Parse()
+
+	var rows []Row
+	for _, uc := range []workload.UseCase{workload.FR, workload.CBR, workload.SV} {
+		row, err := compare(machine.ConfigID(*cfgName), uc, *simMsgs, *liveMsgs, *conns, *size)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hwreport:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, row)
+	}
+
+	if *asJSON {
+		b, _ := json.MarshalIndent(rows, "", "  ")
+		fmt.Println(string(b))
+		return
+	}
+	fmt.Printf("hwreport: simulated %s prediction vs live loopback measurement\n", *cfgName)
+	fmt.Printf("%-4s %6s | %8s %8s %8s | %8s %8s %8s  %s\n",
+		"uc", "metric", "sim", "live", "ratio", "sim-mps", "live-mps", "", "live source")
+	for _, r := range rows {
+		src := r.LiveMode
+		if r.LiveCounters != nil && r.LiveCounters.DerivedSource == "model" {
+			src = "model fallback — " + r.LiveCounters.Notice
+		}
+		fmt.Printf("%-4s %6s | %8.2f %8.2f %8s | %8.0f %8.0f %8s  %s\n",
+			r.UseCase, "CPI", r.Sim.CPI, r.Live.CPI, ratio(r.Live.CPI, r.Sim.CPI),
+			r.SimMsgsPerS, r.LiveMsgsPerS, "", src)
+		fmt.Printf("%-4s %6s | %8.2f %8.2f %8s |\n",
+			"", "BrMPR%", r.Sim.BrMPR, r.Live.BrMPR, ratio(r.Live.BrMPR, r.Sim.BrMPR))
+		fmt.Printf("%-4s %6s | %8.2f %8.2f %8s |\n",
+			"", "BrFrq%", r.Sim.BranchFreq, r.Live.BranchFreq, ratio(r.Live.BranchFreq, r.Sim.BranchFreq))
+		fmt.Printf("%-4s %6s | %8.2f %8.2f %8s |\n",
+			"", "MPI%", r.Sim.L2MPI, r.Live.CacheMPI, ratio(r.Live.CacheMPI, r.Sim.L2MPI))
+	}
+	fmt.Println("ratio = live/sim; MPI compares simulated L2MPI with live last-level cache MPI.")
+}
+
+func ratio(live, sim float64) string {
+	if sim == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", live/sim)
+}
+
+// compare produces one row: simulate, then measure live.
+func compare(id machine.ConfigID, uc workload.UseCase, simMsgs, liveMsgs, conns, size int) (Row, error) {
+	opts := harness.DefaultAONOpts
+	opts.MeasureMsgs = simMsgs
+	sim, err := harness.RunAON(id, uc, opts)
+	if err != nil {
+		return Row{}, fmt.Errorf("simulate %s %s: %w", id, uc, err)
+	}
+
+	srv, err := gateway.New(gateway.Config{UseCase: uc, Counters: true})
+	if err != nil {
+		return Row{}, err
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return Row{}, err
+	}
+	rep, loadErr := gateway.RunLoad(gateway.LoadConfig{
+		Addr: srv.Addr().String(), UseCase: uc,
+		Conns: conns, Messages: liveMsgs, Size: size,
+	})
+	snap := srv.Snapshot()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	shutErr := srv.Shutdown(ctx)
+	cancel()
+	if loadErr != nil {
+		return Row{}, fmt.Errorf("live %s: %w", uc, loadErr)
+	}
+	if shutErr != nil {
+		return Row{}, fmt.Errorf("live %s shutdown: %w", uc, shutErr)
+	}
+
+	row := Row{
+		UseCase:      uc.String(),
+		SimConfig:    string(id),
+		SimMsgsPerS:  sim.MsgPerSec,
+		Sim:          sim.Metrics,
+		LiveMsgsPerS: rep.MsgsPerSec,
+	}
+	if c := snap.Counters; c != nil {
+		row.LiveMode = c.Mode
+		row.Live = c.Derived
+		row.LiveCounters = c
+	}
+	return row, nil
+}

@@ -1,0 +1,127 @@
+package gateway
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestStatsCountersSection is the measurement layer's acceptance path:
+// with Config.Counters on, /stats must carry a counters section with a
+// positive measurement window, sane derived metrics (CPI > 0 in either
+// mode — measured in "hw" mode, model-predicted in the runtime-only
+// fallback), and live runtime observations. The test passes identically
+// on perf-capable and perf-denied hosts; which mode ran is logged.
+func TestStatsCountersSection(t *testing.T) {
+	srv := startServer(t, Config{Workers: 2, UseCase: workload.CBR, Counters: true})
+	addr := srv.Addr().String()
+	if _, err := RunLoad(LoadConfig{Addr: addr, UseCase: workload.CBR, Conns: 2, Messages: 60}); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := cl.Do([]byte("GET /stats HTTP/1.1\r\nHost: x\r\n\r\n"), 5*time.Second)
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("GET /stats: resp=%+v err=%v", resp, err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(resp.Body, &snap); err != nil {
+		t.Fatalf("stats body not JSON: %v\n%s", err, resp.Body)
+	}
+	c := snap.Counters
+	if c == nil {
+		t.Fatalf("stats missing counters section:\n%s", resp.Body)
+	}
+	t.Logf("counters mode=%s notice=%q cpi=%.2f", c.Mode, c.Notice, c.Derived.CPI)
+
+	switch c.Mode {
+	case "hw":
+		if c.DerivedSource != "hw" {
+			t.Fatalf("hw mode with derived_source=%q", c.DerivedSource)
+		}
+		if c.Events["instructions"] == 0 && c.Events["cpu-cycles"] == 0 {
+			t.Fatalf("hw mode with empty event window: %v", c.Events)
+		}
+	case "runtime-only":
+		if c.DerivedSource != "model" {
+			t.Fatalf("fallback mode with derived_source=%q", c.DerivedSource)
+		}
+		if c.Notice == "" || !strings.Contains(c.Notice, "runtime-metrics-only") {
+			t.Fatalf("fallback mode must carry the one-line notice, got %q", c.Notice)
+		}
+	default:
+		t.Fatalf("unknown counters mode %q", c.Mode)
+	}
+	if c.Derived.CPI <= 0 {
+		t.Fatalf("CPI=%v, want > 0 (mode %s)", c.Derived.CPI, c.Mode)
+	}
+	if c.WindowSec <= 0 {
+		t.Fatalf("window_sec=%v, want > 0", c.WindowSec)
+	}
+	if c.Runtime.Goroutines <= 0 || c.Runtime.GOMAXPROCS <= 0 {
+		t.Fatalf("runtime section not populated: %+v", c.Runtime)
+	}
+
+	// A second scrape is a fresh (shorter) window, not a repeat.
+	resp, err = cl.Do([]byte("GET /stats HTTP/1.1\r\nHost: x\r\n\r\n"), 5*time.Second)
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("second /stats: resp=%+v err=%v", resp, err)
+	}
+	var snap2 Snapshot
+	if err := json.Unmarshal(resp.Body, &snap2); err != nil {
+		t.Fatal(err)
+	}
+	if snap2.Counters == nil || snap2.Counters.WindowSec >= c.WindowSec {
+		t.Fatalf("second window %v not shorter than first %v",
+			snap2.Counters.WindowSec, c.WindowSec)
+	}
+}
+
+// TestCountersOffByDefault keeps the measurement layer opt-in: no
+// counters section unless Config.Counters asks for it.
+func TestCountersOffByDefault(t *testing.T) {
+	srv := startServer(t, Config{Workers: 1})
+	if snap := srv.Snapshot(); snap.Counters != nil {
+		t.Fatalf("counters section present without Config.Counters: %+v", snap.Counters)
+	}
+	if mode, _ := srv.CountersMode(); mode != "off" {
+		t.Fatalf("mode=%q want off", mode)
+	}
+}
+
+// TestSweepCountersColumns runs the scaling harness with the measurement
+// layer on: every row carries a counters snapshot and the rendered table
+// gains the CPI/BrMPR columns next to throughput — the paper's Tables
+// 4/6 beside its Figures 5/6.
+func TestSweepCountersColumns(t *testing.T) {
+	rows, err := RunSweep([]int{1, 2},
+		LoadConfig{UseCase: workload.CBR, Conns: 2, Messages: 40, Size: 2048},
+		Config{Counters: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		c := r.Server.Counters
+		if c == nil {
+			t.Fatalf("GOMAXPROCS=%d row missing counters", r.Procs)
+		}
+		if c.Derived.CPI <= 0 {
+			t.Fatalf("GOMAXPROCS=%d CPI=%v, want > 0", r.Procs, c.Derived.CPI)
+		}
+	}
+	table := FormatSweepTable(rows)
+	if !strings.Contains(table, "cpi") || !strings.Contains(table, "brmpr%") {
+		t.Fatalf("table missing counter columns:\n%s", table)
+	}
+	if rows[0].Server.Counters.Mode == "runtime-only" &&
+		!strings.Contains(table, "* model prediction") {
+		t.Fatalf("fallback sweep table missing the model-prediction footer:\n%s", table)
+	}
+}

@@ -69,6 +69,11 @@ type Config struct {
 	// pooled keep-alive connections and the backend's response is relayed;
 	// with no backends the gateway answers in place (the PR 1 behavior).
 	Upstream upstream.Config
+	// Counters enables the live measurement layer (the paper's VTune
+	// methodology on real hardware): a perf_event_open counter set read
+	// as windowed deltas in Snapshot and /stats, degrading to
+	// runtime-metrics-only observability where perf is unavailable.
+	Counters bool
 }
 
 // job is one framed request travelling from a connection reader to a
@@ -86,10 +91,11 @@ type response struct {
 
 // Server is one live gateway instance.
 type Server struct {
-	cfg     Config
-	pipe    *Pipeline
-	fwd     *upstream.Forwarder // nil: answer in place
-	Metrics *Metrics
+	cfg      Config
+	pipe     *Pipeline
+	fwd      *upstream.Forwarder // nil: answer in place
+	counters *counterSampler     // nil: measurement layer off
+	Metrics  *Metrics
 
 	ln       net.Listener
 	jobs     chan *job
@@ -132,15 +138,24 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		pipe:    pipe,
 		fwd:     fwd,
 		Metrics: NewMetrics(),
 		jobs:    make(chan *job, cfg.QueueDepth),
 		conns:   map[net.Conn]struct{}{},
-	}, nil
+	}
+	if cfg.Counters {
+		s.counters = newCounterSampler(cfg.UseCase)
+	}
+	return s, nil
 }
+
+// CountersMode reports the measurement layer's operating mode ("hw",
+// "runtime-only", or "off") and its one-line notice, for startup
+// banners and sweep headers.
+func (s *Server) CountersMode() (mode, notice string) { return s.counters.mode() }
 
 // Workers reports the pool size in effect.
 func (s *Server) Workers() int { return s.cfg.Workers }
@@ -417,11 +432,16 @@ func formatError(status int, msg string, connClose bool) []byte {
 }
 
 // Snapshot reads the full observability surface: the gateway counters
-// plus, in forwarding mode, the per-backend upstream section.
+// plus, in forwarding mode, the per-backend upstream section, plus, with
+// the measurement layer on, the hardware/runtime counters section (each
+// call closes one measurement window).
 func (s *Server) Snapshot() Snapshot {
 	snap := s.Metrics.Snapshot()
 	if s.fwd != nil {
 		snap.Upstream = s.fwd.Snapshot()
+	}
+	if s.counters != nil {
+		snap.Counters = s.counters.snapshot()
 	}
 	return snap
 }
@@ -469,6 +489,7 @@ func (s *Server) shutdown(ctx context.Context) error {
 	if s.fwd != nil {
 		s.fwd.Close()
 	}
+	s.counters.close()
 	return drained
 }
 

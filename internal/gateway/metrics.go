@@ -117,6 +117,11 @@ type Snapshot struct {
 	// Upstream is the per-backend forwarding view (nil when the gateway
 	// answers in place — no backends configured).
 	Upstream map[string]upstream.Snapshot `json:"upstream,omitempty"`
+	// Counters is the live measurement layer (nil when Config.Counters is
+	// off): windowed perf-counter deltas and derived CPI/BrMPR in "hw"
+	// mode, runtime metrics always, model-predicted derived metrics in
+	// the "runtime-only" fallback.
+	Counters *CountersSnapshot `json:"counters,omitempty"`
 }
 
 // Snapshot reads every counter.

@@ -66,13 +66,19 @@ func RunSweep(procs []int, cfg LoadConfig, gw Config) ([]SweepResult, error) {
 // Section 4.2). When the gateway ran in forwarding mode, two upstream
 // columns appear: the order backend's p50 round-trip latency (the
 // device→endpoint hop the end-to-end FR topology adds) and total retries
-// across backends.
+// across backends. When the measurement layer was on, three counter
+// columns follow — CPI and BrMPR per width (the paper's Tables 4/6 next
+// to its Figures 5/6 throughput) and the GC CPU share; in the
+// runtime-only fallback the derived values are model predictions, marked
+// * and explained by a footer line.
 func FormatSweepTable(rows []SweepResult) string {
-	forwarding := false
+	forwarding, counters := false, false
 	for _, r := range rows {
 		if len(r.Server.Upstream) > 0 {
 			forwarding = true
-			break
+		}
+		if r.Server.Counters != nil {
+			counters = true
 		}
 	}
 	var b strings.Builder
@@ -81,8 +87,12 @@ func FormatSweepTable(rows []SweepResult) string {
 	if forwarding {
 		fmt.Fprintf(&b, " %10s %8s", "up-p50(us)", "retries")
 	}
+	if counters {
+		fmt.Fprintf(&b, " %8s %8s %6s", "cpi", "brmpr%", "gc%")
+	}
 	b.WriteByte('\n')
 	var base float64
+	fallback := ""
 	for _, r := range rows {
 		if base == 0 {
 			base = r.Report.MsgsPerSec
@@ -105,7 +115,27 @@ func FormatSweepTable(rows []SweepResult) string {
 			}
 			fmt.Fprintf(&b, " %10d %8d", upP50, retries)
 		}
+		if counters {
+			if c := r.Server.Counters; c != nil {
+				mark := ""
+				if c.DerivedSource == "model" {
+					mark = "*"
+					if fallback == "" {
+						fallback = c.Notice
+					}
+				}
+				fmt.Fprintf(&b, " %8s %8s %6.1f",
+					fmt.Sprintf("%.2f%s", c.Derived.CPI, mark),
+					fmt.Sprintf("%.2f%s", c.Derived.BrMPR, mark),
+					100*c.Runtime.GCCPUFraction)
+			} else {
+				fmt.Fprintf(&b, " %8s %8s %6s", "-", "-", "-")
+			}
+		}
 		b.WriteByte('\n')
+	}
+	if fallback != "" {
+		fmt.Fprintf(&b, "* model prediction — %s\n", fallback)
 	}
 	return b.String()
 }

@@ -1,0 +1,6 @@
+//go:build linux && amd64
+
+package hwcount
+
+// sysPerfEventOpen is the perf_event_open(2) syscall number on x86-64.
+const sysPerfEventOpen = 298

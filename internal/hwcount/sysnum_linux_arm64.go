@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package hwcount
+
+// sysPerfEventOpen is the perf_event_open(2) syscall number on arm64.
+const sysPerfEventOpen = 241

@@ -37,6 +37,27 @@ func (h *Hist) Observe(d time.Duration) {
 	}
 }
 
+// Merge folds other's observations into h. Both histograms may keep
+// taking Observe calls concurrently; the merge is atomic per field, not
+// across fields, so a snapshot taken mid-merge can see partial totals —
+// the same staleness any concurrent Snapshot already tolerates.
+func (h *Hist) Merge(other *Hist) {
+	for i := range other.buckets {
+		if c := other.buckets[i].Load(); c > 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sumUS.Add(other.sumUS.Load())
+	om := other.maxUS.Load()
+	for {
+		cur := h.maxUS.Load()
+		if om <= cur || h.maxUS.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+}
+
 // Snapshot is a point-in-time percentile read.
 type Snapshot struct {
 	Count  uint64  `json:"count"`

@@ -1,56 +1,32 @@
 package upstream
 
-import (
-	"sync"
-	"time"
-)
+import "sync"
 
 // health is the circuit-style backend state machine: consecutive try
 // failures reaching the threshold mark the backend down; while down,
-// traffic fast-fails except for one passive recovery probe per
-// ProbeInterval — a real request let through to test the water. A
-// successful probe (or any success) restores the backend.
+// request traffic fast-fails with no dial at all. Recovery is the
+// background prober's job (prober.go) — the request path never pays for
+// probing a dead backend.
 type health struct {
-	mu        sync.Mutex
-	fails     int  // consecutive failed tries
-	down      bool // circuit open: fast-fail new work
-	probing   bool // one probe is in flight
-	lastProbe time.Time
-}
-
-// allow reports whether a try may proceed, and whether it is the
-// recovery probe (at most one in flight, at most one per probeEvery).
-func (h *health) allow(now time.Time, probeEvery time.Duration) (ok, isProbe bool) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if !h.down {
-		return true, false
-	}
-	if h.probing || now.Sub(h.lastProbe) < probeEvery {
-		return false, false
-	}
-	h.probing = true
-	h.lastProbe = now
-	return true, true
+	mu    sync.Mutex
+	fails int  // consecutive failed tries
+	down  bool // circuit open: fast-fail new work
 }
 
 // onSuccess closes the failure window and, if the backend was down,
-// restores it (the probe succeeded).
+// restores it.
 func (h *health) onSuccess() {
 	h.mu.Lock()
 	h.fails = 0
 	h.down = false
-	h.probing = false
 	h.mu.Unlock()
 }
 
 // onFailure records a failed try and reports whether this failure
-// transitioned the backend to down. A failed probe re-arms the probe
-// timer rather than re-marking.
+// transitioned the backend to down.
 func (h *health) onFailure(threshold int) (markedDown bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.probing = false
 	if h.down {
 		return false
 	}

@@ -18,7 +18,8 @@ type metrics struct {
 	Dials     atomic.Uint64 // pool misses (new sockets)
 	PoolHits  atomic.Uint64 // pool hits (reused sockets)
 	Downs     atomic.Uint64 // transitions to down
-	Probes    atomic.Uint64 // recovery probes attempted
+	Probes    atomic.Uint64 // background recovery probes attempted
+	Prewarmed atomic.Uint64 // conns pre-dialed by the prober to the MinIdle floor
 	Latency   lhist.Hist    // successful round-trip latency
 }
 
@@ -38,6 +39,8 @@ type Snapshot struct {
 	IdleConns int            `json:"idle_conns"`
 	Downs     uint64         `json:"marked_down"`
 	Probes    uint64         `json:"probes"`
+	Prewarmed uint64         `json:"prewarmed_conns"`
+	Expired   uint64         `json:"expired_conns"`
 	Latency   lhist.Snapshot `json:"latency"`
 }
 
@@ -56,6 +59,8 @@ func (b *Backend) snapshot() Snapshot {
 		IdleConns: b.pool.idleCount(),
 		Downs:     b.m.Downs.Load(),
 		Probes:    b.m.Probes.Load(),
+		Prewarmed: b.m.Prewarmed.Load(),
+		Expired:   b.pool.expired.Load(),
 		Latency:   b.m.Latency.Snapshot(),
 	}
 }

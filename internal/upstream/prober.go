@@ -1,0 +1,65 @@
+package upstream
+
+import (
+	"net"
+	"time"
+)
+
+// The background prober moves all circuit recovery and pool maintenance
+// off the request path. One goroutine per Forwarder wakes every
+// ProbeInterval and, per backend:
+//
+//   - down backend: attempts a TCP connect within DialTimeout. Success
+//     restores the circuit and the fresh socket is adopted into the pool
+//     (it will serve the first post-recovery request); failure leaves the
+//     circuit open until the next tick. Probe dials are counted in the
+//     Probes metric, never in Dials — Dials stays a pure request-path
+//     pool-miss counter.
+//   - healthy backend with MinIdlePerBackend set: tops the idle set up
+//     to the floor, so the first requests after startup or an idle lull
+//     skip the dial+handshake entirely (counted in Prewarmed).
+//
+// The goroutine exits when Forwarder.Close is called; Close blocks until
+// it has, so tests never leak it.
+
+// maintain is the prober loop. It runs one pass immediately (pre-warm
+// should not wait a full interval after startup) and then once per tick.
+func (f *Forwarder) maintain() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		for _, b := range f.backends {
+			b.maintain()
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// maintain runs one prober pass for one backend: probe if down, then
+// pre-warm up to the MinIdle floor while healthy.
+func (b *Backend) maintain() {
+	if !b.hp.healthy() {
+		b.m.Probes.Add(1)
+		c, err := net.DialTimeout("tcp", b.addr, b.cfg.DialTimeout)
+		if err != nil {
+			return // still down; next tick retries
+		}
+		b.hp.onSuccess()
+		b.pool.adopt(c)
+	}
+	for b.cfg.MinIdlePerBackend > 0 && b.pool.idleCount() < b.cfg.MinIdlePerBackend {
+		c, err := net.DialTimeout("tcp", b.addr, b.cfg.DialTimeout)
+		if err != nil {
+			return // backend struggling; request path will notice on its own
+		}
+		if !b.pool.adopt(c) {
+			return // pool filled (or closed) concurrently
+		}
+		b.m.Prewarmed.Add(1)
+	}
+}

@@ -8,11 +8,13 @@
 //
 // The subsystem is a router (pipeline outcome → backend) over per-backend
 // resilient transports: a bounded keep-alive connection pool with dial
-// and per-try deadlines, bounded retries with jittered exponential
-// backoff on dial/IO failure, and circuit-style health marking with
-// passive recovery probes so a dead backend costs a fast 502, not a
-// pileup of dial timeouts. Per-backend counters and latency histograms
-// fold into the gateway's /stats.
+// and per-try deadlines, optional pre-warm floor and max-lifetime
+// eviction, bounded retries with jittered exponential backoff on dial/IO
+// failure, and circuit-style health marking so a dead backend costs a
+// fast 502, not a pileup of dial timeouts. Recovery probing and pool
+// pre-warming run on a background goroutine (prober.go), never on the
+// request path. Per-backend counters and latency histograms fold into
+// the gateway's /stats.
 package upstream
 
 import (
@@ -24,6 +26,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -41,6 +44,14 @@ type Config struct {
 	// MaxIdlePerBackend bounds each backend's keep-alive idle set
 	// (default 8).
 	MaxIdlePerBackend int
+	// MinIdlePerBackend is the pre-warm floor: the background prober
+	// keeps at least this many idle conns per healthy backend, so the
+	// first requests after startup or an idle lull skip the dial
+	// (0 = no pre-warming). Clamped to MaxIdlePerBackend.
+	MinIdlePerBackend int
+	// MaxConnLifetime evicts pooled conns older than this at checkout
+	// and checkin (0 = no limit).
+	MaxConnLifetime time.Duration
 	// DialTimeout bounds connection establishment (default 1s).
 	DialTimeout time.Duration
 	// TryTimeout is the per-try write+read deadline (default 5s).
@@ -54,8 +65,9 @@ type Config struct {
 	// FailThreshold is the consecutive-failure count that marks a backend
 	// down (default 3).
 	FailThreshold int
-	// ProbeInterval is the minimum spacing between passive recovery
-	// probes while a backend is down (default 1s).
+	// ProbeInterval is the background prober's wake-up period: down
+	// backends get one connect probe, healthy pools get topped up to
+	// MinIdlePerBackend, once per interval (default 1s).
 	ProbeInterval time.Duration
 }
 
@@ -65,6 +77,15 @@ func (c Config) Enabled() bool { return c.Order != "" || c.Error != "" }
 func (c Config) withDefaults() Config {
 	if c.MaxIdlePerBackend <= 0 {
 		c.MaxIdlePerBackend = 8
+	}
+	if c.MinIdlePerBackend < 0 {
+		c.MinIdlePerBackend = 0
+	}
+	if c.MinIdlePerBackend > c.MaxIdlePerBackend {
+		c.MinIdlePerBackend = c.MaxIdlePerBackend
+	}
+	if c.MaxConnLifetime < 0 {
+		c.MaxConnLifetime = 0
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = time.Second
@@ -133,10 +154,15 @@ type Backend struct {
 	m    metrics
 }
 
-// Forwarder routes pipeline outcomes to backends.
+// Forwarder routes pipeline outcomes to backends and owns the
+// background prober goroutine.
 type Forwarder struct {
 	cfg      Config
 	backends map[string]*Backend
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // New builds a forwarder from the configured backends. Callers should
@@ -146,7 +172,7 @@ func New(cfg Config) (*Forwarder, error) {
 		return nil, errors.New("upstream: no backends configured")
 	}
 	cfg = cfg.withDefaults()
-	f := &Forwarder{cfg: cfg, backends: map[string]*Backend{}}
+	f := &Forwarder{cfg: cfg, backends: map[string]*Backend{}, stop: make(chan struct{})}
 	for name, addr := range map[string]string{"order": cfg.Order, "error": cfg.Error} {
 		if addr == "" {
 			continue
@@ -158,9 +184,11 @@ func New(cfg Config) (*Forwarder, error) {
 			name: name,
 			addr: addr,
 			cfg:  cfg,
-			pool: newPool(addr, cfg.MaxIdlePerBackend, cfg.DialTimeout),
+			pool: newPool(addr, cfg.MaxIdlePerBackend, cfg.DialTimeout, cfg.MaxConnLifetime),
 		}
 	}
+	f.wg.Add(1)
+	go f.maintain()
 	return f, nil
 }
 
@@ -183,11 +211,17 @@ func (f *Forwarder) Snapshot() map[string]Snapshot {
 	return out
 }
 
-// Close tears down every pool's idle sockets.
+// Close stops the background prober (blocking until its goroutine has
+// exited, so tests don't leak it) and tears down every pool's idle
+// sockets. Safe to call more than once.
 func (f *Forwarder) Close() {
-	for _, b := range f.backends {
-		b.pool.Close()
-	}
+	f.closeOnce.Do(func() {
+		close(f.stop)
+		f.wg.Wait()
+		for _, b := range f.backends {
+			b.pool.Close()
+		}
+	})
 }
 
 // RoundTrip forwards one raw HTTP request to the route's backend and
@@ -210,15 +244,11 @@ func (b *Backend) roundTrip(raw []byte) (*Result, error) {
 			b.m.Retries.Add(1)
 			b.backoff(try - 1)
 		}
-		ok, isProbe := b.hp.allow(time.Now(), b.cfg.ProbeInterval)
-		if !ok {
-			// Circuit open and no probe due: retrying locally is pointless,
-			// the caller sheds with 502 immediately.
+		if !b.hp.healthy() {
+			// Circuit open: retrying locally is pointless, the caller sheds
+			// with 502 immediately. The background prober owns recovery.
 			b.m.FastFails.Add(1)
 			return nil, fmt.Errorf("%s %s: %w", b.name, b.addr, ErrDown)
-		}
-		if isProbe {
-			b.m.Probes.Add(1)
 		}
 		t0 := time.Now()
 		res, err := b.try(raw)

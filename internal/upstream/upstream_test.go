@@ -105,7 +105,8 @@ func TestRetryThenSuccess(t *testing.T) {
 
 // TestDownFastFailAndRecovery is the circuit's life cycle: consecutive
 // dial failures mark the backend down, traffic then sheds 502 without
-// dialing, and once the backend returns, the next probe restores it.
+// dialing, and once the backend returns, the background prober restores
+// it and traffic flows again.
 func TestDownFastFailAndRecovery(t *testing.T) {
 	// Reserve a port, then close it so dials are refused.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -136,7 +137,8 @@ func TestDownFastFailAndRecovery(t *testing.T) {
 		t.Fatalf("after threshold failures: healthy=%v downs=%d", s.Healthy, s.Downs)
 	}
 
-	// Circuit open: fast-fail without another dial (probe not yet due).
+	// Circuit open: fast-fail without another request-path dial (probing
+	// is the background prober's job and never counts in Dials).
 	dialsBefore := s.Dials
 	if _, err := f.RoundTrip("order", testRequest(2)); !errors.Is(err, ErrDown) {
 		t.Fatalf("want ErrDown while circuit open, got %v", err)
@@ -146,8 +148,9 @@ func TestDownFastFailAndRecovery(t *testing.T) {
 		t.Fatalf("fast-fail dialed: dials %d→%d fastfails=%d", dialsBefore, s.Dials, s.FastFails)
 	}
 
-	// Backend comes back on the same port; after ProbeInterval the next
-	// request is the probe and restores the circuit.
+	// Backend comes back on the same port; the background prober notices
+	// within ProbeInterval and restores the circuit — requests only see
+	// ErrDown until then.
 	be, err := StartBackend(addr, BackendConfig{Name: "order"})
 	if err != nil {
 		t.Fatalf("restart backend on %s: %v", addr, err)
@@ -162,6 +165,9 @@ func TestDownFastFailAndRecovery(t *testing.T) {
 			}
 			break
 		}
+		if !errors.Is(err, ErrDown) {
+			t.Fatalf("while down, requests must fast-fail with ErrDown, got %v", err)
+		}
 		if time.Now().After(deadline) {
 			t.Fatalf("backend never recovered: %v", err)
 		}
@@ -170,6 +176,150 @@ func TestDownFastFailAndRecovery(t *testing.T) {
 	s = f.Snapshot()["order"]
 	if !s.Healthy || s.Probes == 0 {
 		t.Fatalf("after recovery: healthy=%v probes=%d", s.Healthy, s.Probes)
+	}
+}
+
+// TestProberRestoresWithoutTraffic: recovery must not depend on request
+// traffic at all — the background prober alone flips the circuit closed
+// once the backend is back, and its probe socket is adopted into the
+// pool so the first post-recovery request skips the dial.
+func TestProberRestoresWithoutTraffic(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cfg := fastCfg(addr)
+	cfg.Retries = 0
+	cfg.FailThreshold = 1
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if _, err := f.RoundTrip("order", testRequest(0)); err == nil {
+		t.Fatal("round trip should fail against a closed port")
+	}
+	if s := f.Snapshot()["order"]; s.Healthy {
+		t.Fatal("one failure at threshold 1 must mark down")
+	}
+
+	be, err := StartBackend(addr, BackendConfig{Name: "order"})
+	if err != nil {
+		t.Fatalf("restart backend on %s: %v", addr, err)
+	}
+	defer be.Close()
+
+	// No traffic from here on: only the prober can restore the circuit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := f.Snapshot()["order"]
+		if s.Healthy {
+			if s.Probes == 0 {
+				t.Fatalf("restored without a probe? %+v", s)
+			}
+			if s.IdleConns == 0 {
+				t.Fatalf("probe socket not adopted into the pool: %+v", s)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never restored the backend: %+v", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res, err := f.RoundTrip("order", testRequest(1))
+	if err != nil || res.Status != 200 {
+		t.Fatalf("post-recovery round trip: res=%+v err=%v", res, err)
+	}
+	if s := f.Snapshot()["order"]; s.PoolHits == 0 {
+		t.Fatalf("post-recovery request should ride the adopted socket: %+v", s)
+	}
+}
+
+// TestPrewarmMinIdle: with a MinIdle floor the prober fills the pool
+// before any traffic, and the first requests are pool hits — zero
+// request-path dials.
+func TestPrewarmMinIdle(t *testing.T) {
+	be, err := StartBackend("127.0.0.1:0", BackendConfig{Name: "order"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	cfg := fastCfg(be.Addr().String())
+	cfg.MinIdlePerBackend = 4
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := f.Snapshot()["order"]
+		if s.IdleConns >= 4 {
+			if s.Prewarmed < 4 {
+				t.Fatalf("idle floor reached with prewarmed=%d", s.Prewarmed)
+			}
+			if s.Dials != 0 {
+				t.Fatalf("pre-warming must not count as request dials: %+v", s)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never pre-warmed to 4: %+v", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	res, err := f.RoundTrip("order", testRequest(0))
+	if err != nil || res.Status != 200 {
+		t.Fatalf("round trip: res=%+v err=%v", res, err)
+	}
+	if s := f.Snapshot()["order"]; s.Dials != 0 || s.PoolHits != 1 {
+		t.Fatalf("first request should be a pool hit on a pre-warmed conn: dials=%d hits=%d",
+			s.Dials, s.PoolHits)
+	}
+}
+
+// TestMaxLifetimeEviction: a pooled conn older than MaxConnLifetime is
+// evicted at checkout and replaced with a fresh dial, and the eviction
+// is counted.
+func TestMaxLifetimeEviction(t *testing.T) {
+	be, err := StartBackend("127.0.0.1:0", BackendConfig{Name: "order"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	cfg := fastCfg(be.Addr().String())
+	cfg.MaxConnLifetime = 30 * time.Millisecond
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if _, err := f.RoundTrip("order", testRequest(0)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond) // pooled conn outlives its lifetime
+
+	res, err := f.RoundTrip("order", testRequest(1))
+	if err != nil || res.Status != 200 {
+		t.Fatalf("round trip after expiry: res=%+v err=%v", res, err)
+	}
+	if res.Reused {
+		t.Fatal("expired conn must not be reused")
+	}
+	s := f.Snapshot()["order"]
+	if s.Dials != 2 || s.Expired == 0 {
+		t.Fatalf("dials=%d expired=%d, want 2 dials and >0 evictions", s.Dials, s.Expired)
+	}
+	if s.Forwarded != 2 {
+		t.Fatalf("forwarded=%d, want 2", s.Forwarded)
 	}
 }
 
