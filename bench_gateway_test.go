@@ -63,6 +63,27 @@ func BenchmarkGatewayFR(b *testing.B)  { benchGateway(b, workload.FR) }
 func BenchmarkGatewayCBR(b *testing.B) { benchGateway(b, workload.CBR) }
 func BenchmarkGatewaySV(b *testing.B)  { benchGateway(b, workload.SV) }
 
+// BenchmarkGatewayTracing guards the stage-trace overhead: the off/
+// sampled/every sub-benchmarks are the same CBR round trip with tracing
+// disabled, sampling 1-in-16 (the aonload sweep default), and stamping
+// every request. The sampled case is the acceptance bar — it must stay
+// within ~3% of off (compare ns/op across sub-benchmarks; the stamps are
+// a few time.Now calls plus lock-free histogram adds on 1/16 of
+// requests, invisible next to a socket round trip).
+func BenchmarkGatewayTracing(b *testing.B) {
+	for _, c := range []struct {
+		name  string
+		every int
+	}{{"off", 0}, {"sampled16", 16}, {"every", 1}} {
+		b.Run(c.name, func(b *testing.B) {
+			benchGatewayCfg(b, workload.CBR, gateway.Config{
+				UseCase:    workload.CBR,
+				TraceEvery: c.every,
+			})
+		})
+	}
+}
+
 // BenchmarkGatewayFRForwarded is BenchmarkGatewayFR with a real upstream
 // hop: the gateway forwards every message to a loopback order backend
 // over the keep-alive pool and relays the ack. The delta against

@@ -21,8 +21,19 @@
 //
 // With -counters, /stats gains a "counters" section: windowed
 // perf_event_open deltas and derived CPI/cache-MPI/BrMPR (the paper's
-// VTune metrics on live hardware), degrading to runtime-metrics-only
-// with a startup notice where perf events are denied.
+// VTune metrics on live hardware) including a per-worker skew view (each
+// pool worker pins its OS thread and opens its own event group),
+// degrading to runtime-metrics-only with a startup notice where perf
+// events are denied.
+//
+// With -timeline (implies -counters), the gateway runs a VTune-style
+// sampling session: every -sample-interval it snapshots counter windows,
+// throughput deltas, latency percentiles, runtime and pool gauges into a
+// bounded ring served on GET /timeline?last=N. SIGUSR1 dumps the ring as
+// CSV to -timeline-out without stopping the server; shutdown writes the
+// final ring there too. -trace-every N samples one request in N through
+// per-stage monotonic stamps, served as the /stats "stages" section.
+//
 // SIGINT/SIGTERM drains gracefully (bounded by -drain) and prints the
 // final metrics snapshot as JSON on stdout.
 package main
@@ -39,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/gateway"
+	"repro/internal/hwcount"
 	"repro/internal/upstream"
 	"repro/internal/workload"
 )
@@ -60,11 +72,28 @@ func main() {
 	upMinIdle := flag.Int("up-min-idle", 0, "pre-warm each backend pool to this many idle conns (0 = off)")
 	upLifetime := flag.Duration("up-max-lifetime", 0, "evict pooled backend conns older than this (0 = no limit)")
 	hwCounters := flag.Bool("counters", false, "enable the live measurement layer: perf_event_open counters on /stats (falls back to runtime metrics where perf is denied)")
+	timeline := flag.Bool("timeline", false, "run a sampling session: fixed-interval samples on GET /timeline (implies -counters)")
+	sampleInterval := flag.Duration("sample-interval", 100*time.Millisecond, "timeline sampling period (must be positive)")
+	sampleCap := flag.Int("sample-cap", 0, "timeline ring capacity in samples (0 = 600)")
+	traceEvery := flag.Int("trace-every", 0, "trace request stages for 1 in every N requests (0 = off)")
+	timelineOut := flag.String("timeline-out", "aon-timeline.csv", "CSV path for timeline dumps (SIGUSR1 and shutdown)")
 	flag.Parse()
 
 	uc, err := workload.ParseUseCase(*ucName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aongate:", err)
+		os.Exit(2)
+	}
+	if *sampleInterval <= 0 {
+		fmt.Fprintf(os.Stderr, "aongate: -sample-interval must be positive, got %v\n", *sampleInterval)
+		os.Exit(2)
+	}
+	if *traceEvery < 0 {
+		fmt.Fprintf(os.Stderr, "aongate: -trace-every must be >= 0, got %d\n", *traceEvery)
+		os.Exit(2)
+	}
+	if (*hwCounters || *timeline) && !hwcount.Supported() {
+		fmt.Fprintln(os.Stderr, "aongate: -counters/-timeline need perf events, which this OS does not support")
 		os.Exit(2)
 	}
 	srv, err := gateway.New(gateway.Config{
@@ -83,7 +112,11 @@ func main() {
 			MinIdlePerBackend: *upMinIdle,
 			MaxConnLifetime:   *upLifetime,
 		},
-		Counters: *hwCounters,
+		Counters:       *hwCounters,
+		Timeline:       *timeline,
+		SampleInterval: *sampleInterval,
+		SampleCapacity: *sampleCap,
+		TraceEvery:     *traceEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aongate:", err)
@@ -107,9 +140,24 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 	}
 
+	if *timeline {
+		fmt.Fprintf(os.Stderr, "aongate: sampling session every %v (GET /timeline, SIGUSR1 dumps CSV to %s)\n",
+			*sampleInterval, *timelineOut)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	usr1 := make(chan os.Signal, 1)
+	notifyUsr1(usr1)
+	for running := true; running; {
+		select {
+		case <-usr1:
+			// On-demand dump: snapshot the ring to CSV, keep serving.
+			dumpTimeline(srv, *timelineOut)
+		case <-sig:
+			running = false
+		}
+	}
 	fmt.Fprintln(os.Stderr, "aongate: draining...")
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
@@ -117,6 +165,29 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "aongate: drain incomplete:", err)
 	}
+	if *timeline {
+		// The ring outlives the stopped sampler, so the shutdown dump
+		// includes the session's final samples.
+		dumpTimeline(srv, *timelineOut)
+	}
 	b, _ := json.MarshalIndent(srv.Snapshot(), "", "  ")
 	fmt.Println(string(b))
+}
+
+// dumpTimeline writes the sampling session's kept ring as CSV.
+func dumpTimeline(srv *gateway.Server, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aongate: timeline dump:", err)
+		return
+	}
+	n, werr := srv.WriteTimelineCSV(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, "aongate: timeline dump:", werr)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "aongate: wrote %d timeline samples to %s\n", n, path)
 }

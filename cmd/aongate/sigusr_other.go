@@ -1,0 +1,9 @@
+//go:build !unix
+
+package main
+
+import "os"
+
+// notifyUsr1 is a no-op where SIGUSR1 does not exist; the shutdown dump
+// still writes the timeline CSV.
+func notifyUsr1(chan<- os.Signal) {}

@@ -1,0 +1,15 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// notifyUsr1 wires SIGUSR1 — the on-demand timeline CSV dump trigger —
+// on platforms that have it.
+func notifyUsr1(c chan<- os.Signal) {
+	signal.Notify(c, syscall.SIGUSR1)
+}

@@ -28,6 +28,13 @@
 // perf events are denied the sweep still completes, printing runtime-
 // metrics-backed rows with model-predicted derived values and a one-line
 // notice.
+//
+// In sweep mode, -trace-every N (default 16) additionally samples one
+// request in N through per-stage monotonic stamps, and a per-stage
+// p50/p99 table (read/queue/parse/process/forward/write) prints after
+// the scaling table — the live analogue of the paper's per-phase
+// profile next to its scaling figures. -timeline runs a sampling
+// session inside each swept gateway.
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/gateway"
+	"repro/internal/hwcount"
 	"repro/internal/upstream"
 	"repro/internal/workload"
 )
@@ -59,11 +67,26 @@ func main() {
 	selfback := flag.Bool("selfback", false, "sweep mode: self-host order/error backends on loopback")
 	respSize := flag.Int("resp-size", 128, "self-hosted backend response body bytes")
 	hwCounters := flag.Bool("counters", false, "sweep mode: per-width CPI/BrMPR columns from perf_event_open (runtime-metrics fallback where denied)")
+	timeline := flag.Bool("timeline", false, "sweep mode: run a sampling session per width (implies -counters)")
+	sampleInterval := flag.Duration("sample-interval", 100*time.Millisecond, "sampling period for -timeline (must be positive)")
+	traceEvery := flag.Int("trace-every", 16, "sweep mode: trace 1 in every N requests through pipeline stages; per-stage table after the sweep (0 = off)")
 	flag.Parse()
 
 	uc, err := workload.ParseUseCase(*ucName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aonload:", err)
+		os.Exit(2)
+	}
+	if *sampleInterval <= 0 {
+		fmt.Fprintf(os.Stderr, "aonload: -sample-interval must be positive, got %v\n", *sampleInterval)
+		os.Exit(2)
+	}
+	if *traceEvery < 0 {
+		fmt.Fprintf(os.Stderr, "aonload: -trace-every must be >= 0, got %d\n", *traceEvery)
+		os.Exit(2)
+	}
+	if (*hwCounters || *timeline) && !hwcount.Supported() {
+		fmt.Fprintln(os.Stderr, "aonload: -counters/-timeline need perf events, which this OS does not support")
 		os.Exit(2)
 	}
 	cfg := gateway.LoadConfig{
@@ -101,7 +124,14 @@ func main() {
 				}
 			}
 		}
-		rows, err := gateway.RunSweep(procs, cfg, gateway.Config{UseCase: uc, Upstream: up, Counters: *hwCounters})
+		rows, err := gateway.RunSweep(procs, cfg, gateway.Config{
+			UseCase:        uc,
+			Upstream:       up,
+			Counters:       *hwCounters,
+			Timeline:       *timeline,
+			SampleInterval: *sampleInterval,
+			TraceEvery:     *traceEvery,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aonload:", err)
 			os.Exit(1)
@@ -121,6 +151,9 @@ func main() {
 			}
 		}
 		fmt.Fprint(os.Stderr, gateway.FormatSweepTable(rows))
+		if st := gateway.FormatStageTable(rows); st != "" {
+			fmt.Fprintf(os.Stderr, "\nper-stage latency (sampled 1 in %d):\n%s", *traceEvery, st)
+		}
 		b, _ := json.MarshalIndent(rows, "", "  ")
 		fmt.Println(string(b))
 		return

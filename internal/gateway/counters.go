@@ -2,6 +2,8 @@ package gateway
 
 import (
 	"fmt"
+	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -12,6 +14,24 @@ import (
 	"repro/internal/workload"
 )
 
+// ForceRuntimeOnlyEnv, when set in the environment, makes the
+// measurement layer skip perf_event_open entirely and run in the
+// runtime-only fallback even on perf-capable hosts — the deterministic
+// lever CI uses to exercise both modes on one machine.
+const ForceRuntimeOnlyEnv = "AON_NO_PERF"
+
+// WorkerCounters is one worker's derived counter window: the per-thread
+// event group the worker opened after pinning its goroutine, read as a
+// delta. In the fallback mode the derived block is the model prediction
+// and DerivedSource says so — the shape stays identical so dashboards
+// and the timeline never branch on mode.
+type WorkerCounters struct {
+	Worker        int             `json:"worker"`
+	Derived       hwcount.Derived `json:"derived"`
+	DerivedSource string          `json:"derived_source"` // "hw" or "model"
+	Multiplexed   bool            `json:"multiplexed,omitempty"`
+}
+
 // CountersSnapshot is the /stats "counters" section: the live
 // measurement layer's windowed view. In "hw" mode the events and derived
 // metrics come from real perf counters (deltas since the previous
@@ -20,7 +40,8 @@ import (
 // unavailable; the runtime section still carries real observations and
 // the derived block falls back to the simulator's calibrated model
 // prediction so dashboards keep a reference value (DerivedSource says
-// which you got).
+// which you got). Workers is the per-worker skew view — one entry per
+// pool worker, each backed by its own thread-scoped event group.
 type CountersSnapshot struct {
 	Mode          string            `json:"mode"` // "hw" or "runtime-only"
 	Notice        string            `json:"notice,omitempty"`
@@ -29,30 +50,52 @@ type CountersSnapshot struct {
 	Events        map[string]uint64 `json:"events,omitempty"` // windowed scaled deltas
 	Derived       hwcount.Derived   `json:"derived"`
 	DerivedSource string            `json:"derived_source"` // "hw" or "model"
+	Workers       []WorkerCounters  `json:"workers,omitempty"`
 	Runtime       runstats.Snapshot `json:"runtime"`
 }
 
-// counterSampler owns the gateway's measurement layer: the perf event
-// set when the host grants one, the runtime sampler always, and the
-// previous reading for windowed deltas.
+// workerCounter is one registered pool worker: its thread-scoped event
+// group when the host granted one, or a model-backed placeholder.
+type workerCounter struct {
+	id  int
+	grp *hwcount.Group // nil: fallback, derived metrics come from the model
+}
+
+// counterSampler owns the gateway's measurement layer: the process-wide
+// perf event set when the host grants one, the per-worker thread groups
+// as workers register, and the runtime sampler always. Windowing state
+// lives in counterViews so independent consumers (the /stats scrape and
+// the 100ms timeline) each get honest windows instead of stealing each
+// other's deltas.
 type counterSampler struct {
 	uc     workload.UseCase
 	grp    *hwcount.Group // nil: runtime-only mode
 	notice string
 
-	mu     sync.Mutex
-	prev   hwcount.Counts
-	prevAt time.Time
+	mu      sync.Mutex
+	workers map[int]*workerCounter
+	// Lifetime per-worker group accounting, the fd-leak test surface:
+	// after shutdown opened == closed must hold.
+	groupsOpened uint64
+	groupsClosed uint64
 }
 
 // newCounterSampler opens the perf event set; on failure (no PMU,
 // paranoid level, seccomp, non-Linux) it records the reason and the
 // sampler serves runtime-only snapshots — degradation, never an error.
+// In the fallback it also warms the model's cache-MPI prediction in the
+// background so the first snapshots don't block on a simulator run.
 func newCounterSampler(uc workload.UseCase) *counterSampler {
-	cs := &counterSampler{uc: uc, prevAt: time.Now()}
+	cs := &counterSampler{uc: uc, workers: map[int]*workerCounter{}}
+	if os.Getenv(ForceRuntimeOnlyEnv) != "" {
+		cs.notice = fmt.Sprintf("perf events disabled by %s; runtime-metrics-only mode", ForceRuntimeOnlyEnv)
+		go warmModelDerived(uc)
+		return cs
+	}
 	g, err := hwcount.Open()
 	if err != nil {
 		cs.notice = fmt.Sprintf("perf events unavailable (%v); runtime-metrics-only mode", err)
+		go warmModelDerived(uc)
 		return cs
 	}
 	cs.grp = g
@@ -74,67 +117,208 @@ func (cs *counterSampler) mode() (mode, notice string) {
 	return "hw", cs.notice
 }
 
-// snapshot takes one measurement window: counter deltas since the last
-// call plus a fresh runtime reading.
-func (cs *counterSampler) snapshot() *CountersSnapshot {
-	out := &CountersSnapshot{Runtime: runstats.Read()}
+// registerWorker gives pool worker id its own counter group. The caller
+// must have pinned its goroutine with runtime.LockOSThread first — the
+// group counts the calling OS thread only, which is exactly what makes
+// the per-worker skew meaningful. In fallback mode (no process group)
+// the worker is registered with a model-backed placeholder.
+func (cs *counterSampler) registerWorker(id int) *workerCounter {
+	wc := &workerCounter{id: id}
+	if cs.grp != nil {
+		if g, err := hwcount.OpenThread(); err == nil {
+			wc.grp = g
+		}
+	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	now := time.Now()
-	out.WindowSec = now.Sub(cs.prevAt).Seconds()
-	cs.prevAt = now
-
-	if cs.grp == nil {
-		out.Mode = "runtime-only"
-		out.Notice = cs.notice
-		out.Derived = modelDerived(cs.uc)
-		out.DerivedSource = "model"
-		return out
+	cs.workers[id] = wc
+	if wc.grp != nil {
+		cs.groupsOpened++
 	}
-	r, err := cs.grp.Read()
-	if err != nil {
-		out.Mode = "runtime-only"
-		out.Notice = fmt.Sprintf("perf read failed (%v); runtime-metrics-only mode", err)
-		out.Derived = modelDerived(cs.uc)
-		out.DerivedSource = "model"
-		return out
-	}
-	delta := r.Counts.Sub(cs.prev)
-	cs.prev = r.Counts
-	out.Mode = "hw"
-	out.Notice = cs.notice
-	out.Multiplexed = r.Multiplexed
-	out.Events = delta.EventsMap()
-	// An idle window (no instructions retired since the last scrape)
-	// derives from the cumulative totals instead, so ratios never read
-	// zero just because the scraper raced the load.
-	if delta.Get(hwcount.Instructions) == 0 {
-		delta = r.Counts
-	}
-	out.Derived = hwcount.Derive(delta)
-	out.DerivedSource = "hw"
-	return out
+	return wc
 }
 
+// unregisterWorker closes the worker's event group (releasing its fds)
+// and removes it from the skew view. Called from the worker's deferred
+// exit path, so shutting the pool down provably closes every group.
+func (cs *counterSampler) unregisterWorker(wc *workerCounter) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	delete(cs.workers, wc.id)
+	if wc.grp != nil {
+		wc.grp.Close()
+		cs.groupsClosed++
+	}
+}
+
+// workerGroupStats reports lifetime per-worker group open/close counts
+// and the live registration count — the worker-exit test's assertions.
+func (cs *counterSampler) workerGroupStats() (opened, closed uint64, live int) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.groupsOpened, cs.groupsClosed, len(cs.workers)
+}
+
+// close releases the process-wide event set. Per-worker groups are
+// closed by their owning workers' exit paths, which the server joins
+// before calling this.
 func (cs *counterSampler) close() {
 	if cs != nil && cs.grp != nil {
 		cs.grp.Close()
 	}
 }
 
+// counterView is one consumer's windowing state over the shared sampler:
+// previous process-wide counts plus previous per-worker counts, so each
+// consumer's deltas cover exactly the span since *its* last read.
+type counterView struct {
+	cs *counterSampler
+
+	mu          sync.Mutex
+	prevAt      time.Time
+	prev        hwcount.Counts
+	prevWorkers map[int]hwcount.Counts
+}
+
+func newCounterView(cs *counterSampler) *counterView {
+	return &counterView{cs: cs, prevAt: time.Now(), prevWorkers: map[int]hwcount.Counts{}}
+}
+
+// window closes one measurement window: the process-wide delta-derived
+// metrics plus the per-worker skew, each labeled with its source.
+func (v *counterView) window() (windowSec float64, derived hwcount.Derived,
+	source string, events map[string]uint64, multiplexed bool, workers []WorkerCounters) {
+	cs := v.cs
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	now := time.Now()
+	windowSec = now.Sub(v.prevAt).Seconds()
+	v.prevAt = now
+
+	if cs.grp == nil {
+		derived, source = modelDerived(cs.uc), "model"
+		workers = v.fallbackWorkers(derived)
+		return
+	}
+	r, err := cs.grp.Read()
+	if err != nil {
+		derived, source = modelDerived(cs.uc), "model"
+		workers = v.fallbackWorkers(derived)
+		return
+	}
+	delta := r.Counts.Sub(v.prev)
+	v.prev = r.Counts
+	multiplexed = r.Multiplexed
+	events = delta.EventsMap()
+	// An idle window (no instructions retired since the last read)
+	// derives from the cumulative totals instead, so ratios never read
+	// zero just because the reader raced the load.
+	if delta.Get(hwcount.Instructions) == 0 {
+		delta = r.Counts
+	}
+	derived, source = hwcount.Derive(delta), "hw"
+	workers = v.workerWindows()
+	return
+}
+
+// workerWindows reads every registered worker's thread group as a delta
+// against this view's previous read. Workers whose group could not be
+// opened (or whose read fails) publish the model prediction instead.
+func (v *counterView) workerWindows() []WorkerCounters {
+	cs := v.cs
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	model := modelDerived(cs.uc)
+	out := make([]WorkerCounters, 0, len(cs.workers))
+	seen := make(map[int]bool, len(cs.workers))
+	for id, wc := range cs.workers {
+		seen[id] = true
+		w := WorkerCounters{Worker: id, Derived: model, DerivedSource: "model"}
+		if wc.grp != nil {
+			if r, err := wc.grp.Read(); err == nil {
+				delta := r.Counts.Sub(v.prevWorkers[id])
+				v.prevWorkers[id] = r.Counts
+				if delta.Get(hwcount.Instructions) == 0 {
+					delta = r.Counts
+				}
+				w.Derived, w.DerivedSource = hwcount.Derive(delta), "hw"
+				w.Multiplexed = r.Multiplexed
+			}
+		}
+		out = append(out, w)
+	}
+	for id := range v.prevWorkers {
+		if !seen[id] {
+			delete(v.prevWorkers, id) // worker exited; drop its window state
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}
+
+// fallbackWorkers lists every registered worker with the model-predicted
+// derived block — the runtime-only mode's per-worker view, so the
+// timeline's shape is identical in both modes.
+func (v *counterView) fallbackWorkers(model hwcount.Derived) []WorkerCounters {
+	cs := v.cs
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make([]WorkerCounters, 0, len(cs.workers))
+	for id := range cs.workers {
+		out = append(out, WorkerCounters{Worker: id, Derived: model, DerivedSource: "model"})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}
+
+// snapshot takes one full measurement window shaped for /stats: counter
+// deltas since this view's last call plus a fresh runtime reading.
+func (v *counterView) snapshot() *CountersSnapshot {
+	out := &CountersSnapshot{Runtime: runstats.Read()}
+	mode, notice := v.cs.mode()
+	out.Mode, out.Notice = mode, notice
+	out.WindowSec, out.Derived, out.DerivedSource, out.Events, out.Multiplexed, out.Workers = v.window()
+	if out.DerivedSource == "model" {
+		// A read failure on an opened group degrades this window only.
+		out.Mode = "runtime-only"
+		if out.Notice == "" {
+			out.Notice = "perf read failed; runtime-metrics-only window"
+		}
+	}
+	return out
+}
+
 // modelDerived is the runtime-only fallback's reference point: the
 // simulated machine's calibrated prediction for this use case on the
 // paper's 2CPm configuration (the dual-core Pentium M the reproduction
-// is anchored to) — paper Tables 4-6 via the harness's published-value
-// tables. L2MPI per use case is not published, so CacheMPI stays zero.
+// is anchored to) — CPI and branch metrics from paper Tables 4-6 via the
+// harness's published-value tables, cache-MPI from the simulator's own
+// prediction (the paper publishes no per-use-case L2MPI), all labeled
+// derived_source=model. The simulator prediction is cached and warmed in
+// the background; until it lands, CacheMPI reads zero.
 func modelDerived(uc workload.UseCase) hwcount.Derived {
 	key := uc
 	if _, ok := harness.PaperCPI[key]; !ok {
 		key = workload.CBR // DPI/AUTH extensions: nearest published mix
 	}
-	return hwcount.Derived{
+	d := hwcount.Derived{
 		CPI:        harness.PaperCPI[key][machine.TwoCPm],
 		BranchFreq: harness.PaperBranchFreq[key][machine.TwoCPm],
 		BrMPR:      harness.PaperBrMPR[key][machine.TwoCPm],
 	}
+	if m, ok := harness.TryPredictedMetrics(machine.TwoCPm, key); ok {
+		d.CacheMPI = m.L2MPI
+	}
+	return d
+}
+
+// warmModelDerived computes the fallback's simulator-predicted metrics
+// off the serving path (a model run costs ~0.5s; snapshot paths only do
+// the non-blocking cache lookup).
+func warmModelDerived(uc workload.UseCase) {
+	key := uc
+	if _, ok := harness.PaperCPI[key]; !ok {
+		key = workload.CBR
+	}
+	harness.PredictedMetrics(machine.TwoCPm, key)
 }

@@ -70,10 +70,31 @@ type Config struct {
 	// with no backends the gateway answers in place (the PR 1 behavior).
 	Upstream upstream.Config
 	// Counters enables the live measurement layer (the paper's VTune
-	// methodology on real hardware): a perf_event_open counter set read
-	// as windowed deltas in Snapshot and /stats, degrading to
-	// runtime-metrics-only observability where perf is unavailable.
+	// methodology on real hardware): a process-wide perf_event_open
+	// counter set read as windowed deltas in Snapshot and /stats, plus
+	// one thread-scoped event group per pool worker (each worker pins
+	// its goroutine) for the per-worker CPI/cache/branch skew view.
+	// Degrades to runtime-metrics-only observability where perf is
+	// unavailable.
 	Counters bool
+	// Timeline starts a sampling session (the paper's VTune sampling
+	// sessions): a fixed-interval sampler snapshots counter windows,
+	// gateway metric deltas, and pool gauges into a bounded ring served
+	// on /timeline, summarized on /stats, and dumpable as CSV. Implies
+	// Counters.
+	Timeline bool
+	// SampleInterval is the sampling period; 0 means 100ms. Negative is
+	// rejected by New.
+	SampleInterval time.Duration
+	// SampleCapacity bounds the timeline ring; 0 means 600 samples (one
+	// minute at the default interval). Negative is rejected by New.
+	SampleCapacity int
+	// TraceEvery enables per-request stage tracing, sampling one request
+	// in every TraceEvery through monotonic stamps around
+	// read→queue→parse→process→forward→write, aggregated into
+	// per-use-case per-stage histograms on /stats. 0 disables; negative
+	// is rejected by New.
+	TraceEvery int
 }
 
 // job is one framed request travelling from a connection reader to a
@@ -82,20 +103,28 @@ type job struct {
 	raw   []byte
 	start time.Time
 	resp  chan response
+
+	traced  bool          // this request is in the stage-trace sample
+	readDur time.Duration // wire→memory framing time (traced requests only)
 }
 
 type response struct {
-	bytes []byte
-	close bool // respond then close the connection
+	bytes  []byte
+	close  bool // respond then close the connection
+	uc     workload.UseCase
+	traced bool // stamp the write stage on the way out
 }
 
 // Server is one live gateway instance.
 type Server struct {
-	cfg      Config
-	pipe     *Pipeline
-	fwd      *upstream.Forwarder // nil: answer in place
-	counters *counterSampler     // nil: measurement layer off
-	Metrics  *Metrics
+	cfg       Config
+	pipe      *Pipeline
+	fwd       *upstream.Forwarder // nil: answer in place
+	counters  *counterSampler     // nil: measurement layer off
+	statsView *counterView        // the /stats scrape's own measurement windows
+	tracer    *stageTracer        // nil: stage tracing off
+	timeline  *timelineState      // nil: no sampling session
+	Metrics   *Metrics
 
 	ln       net.Listener
 	jobs     chan *job
@@ -127,6 +156,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = 60 * time.Second
 	}
+	if cfg.SampleInterval < 0 {
+		return nil, fmt.Errorf("gateway: sampling interval must be positive, got %v", cfg.SampleInterval)
+	}
+	if cfg.SampleCapacity < 0 {
+		return nil, fmt.Errorf("gateway: sample capacity must be positive, got %d", cfg.SampleCapacity)
+	}
+	if cfg.TraceEvery < 0 {
+		return nil, fmt.Errorf("gateway: trace sampling ratio must be positive, got %d", cfg.TraceEvery)
+	}
+	if cfg.Timeline {
+		// A sampling session is a consumer of the measurement layer.
+		cfg.Counters = true
+	}
 	pipe, err := NewPipeline(cfg.UseCase, cfg.Expr, cfg.Schema)
 	if err != nil {
 		return nil, err
@@ -148,6 +190,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Counters {
 		s.counters = newCounterSampler(cfg.UseCase)
+		s.statsView = newCounterView(s.counters)
+	}
+	if cfg.TraceEvery > 0 {
+		s.tracer = newStageTracer(cfg.TraceEvery)
 	}
 	return s, nil
 }
@@ -170,10 +216,16 @@ func (s *Server) Start(addr string) error {
 	s.ln = ln
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.workerWG.Add(1)
-		go s.worker()
+		go s.worker(i)
 	}
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
+	if s.cfg.Timeline {
+		if err := s.startTimeline(); err != nil {
+			s.Shutdown(context.Background())
+			return err
+		}
+	}
 	return nil
 }
 
@@ -225,6 +277,21 @@ func (s *Server) handleConn(c net.Conn) {
 		if s.cfg.IdleTimeout > 0 {
 			c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
+		// For traced requests the read stage runs first byte → complete
+		// body: Peek blocks until the next request's first byte arrives
+		// (consuming nothing), so keep-alive idle time never counts as
+		// read time. Peek errors fall through to readRequest, which
+		// reports them on its existing paths.
+		var traced bool
+		var tRead time.Time
+		if s.tracer != nil {
+			if _, err := br.Peek(1); err == nil {
+				traced = s.tracer.sample()
+				if traced {
+					tRead = time.Now()
+				}
+			}
+		}
 		raw, err := readRequest(br, s.cfg.MaxBodyBytes)
 		if err != nil {
 			var ne net.Error
@@ -257,11 +324,21 @@ func (s *Server) handleConn(c net.Conn) {
 			return
 		}
 		j := &job{raw: raw, start: time.Now(), resp: make(chan response, 1)}
+		if traced {
+			j.traced, j.readDur = true, j.start.Sub(tRead)
+		}
 		s.inflight.Add(1)
 		select {
 		case s.jobs <- j:
 			r := <-j.resp
+			var tWrite time.Time
+			if r.traced {
+				tWrite = time.Now()
+			}
 			ok := s.write(c, r.bytes)
+			if r.traced {
+				s.tracer.observe(r.uc, StageWrite, time.Since(tWrite))
+			}
 			s.inflight.Add(-1)
 			if !ok || r.close {
 				return
@@ -284,8 +361,17 @@ func (s *Server) write(c net.Conn, b []byte) bool {
 	return err == nil
 }
 
-func (s *Server) worker() {
+func (s *Server) worker(id int) {
 	defer s.workerWG.Done()
+	if s.counters != nil {
+		// Pin the goroutine to its OS thread so the thread-scoped event
+		// group opened by registerWorker counts exactly this worker's
+		// execution — the per-worker skew view depends on it.
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+		wc := s.counters.registerWorker(id)
+		defer s.counters.unregisterWorker(wc)
+	}
 	for j := range s.jobs {
 		j.resp <- s.process(j)
 	}
@@ -294,19 +380,48 @@ func (s *Server) worker() {
 // process is the worker-side pipeline: full HTTP parse, use-case
 // dispatch, response build.
 func (s *Server) process(j *job) response {
+	// Stage stamps bracket the worker's phases for traced requests; the
+	// ProcessDelay fault-injection stall sits between the queue and parse
+	// stamps so it inflates neither stage.
+	var tDeq time.Time
+	if j.traced {
+		tDeq = time.Now()
+	}
 	if s.cfg.ProcessDelay > 0 {
 		time.Sleep(s.cfg.ProcessDelay)
 	}
+	var tWork time.Time
+	if j.traced {
+		tWork = time.Now()
+	}
 	req, err := httpmsg.ParseRequest(j.raw)
 	if err != nil {
-		s.Metrics.Done(OutParseError, time.Since(j.start))
-		return response{bytes: formatError(400, err.Error(), true), close: true}
+		uc := s.cfg.UseCase // malformed request: no path to select from
+		if j.traced {
+			s.tracer.observe(uc, StageRead, j.readDur)
+			s.tracer.observe(uc, StageQueue, tDeq.Sub(j.start))
+			s.tracer.observe(uc, StageParse, time.Since(tWork))
+		}
+		s.Metrics.Done(OutParseError, uc, time.Since(j.start))
+		return response{bytes: formatError(400, err.Error(), true), close: true, uc: uc, traced: j.traced}
+	}
+	var tParsed time.Time
+	if j.traced {
+		tParsed = time.Now()
 	}
 	uc := s.pipe.SelectUseCase(req.Target)
 	out := s.pipe.Process(uc, req)
+	var tProcessed time.Time
+	if j.traced {
+		tProcessed = time.Now()
+		s.tracer.observe(uc, StageRead, j.readDur)
+		s.tracer.observe(uc, StageQueue, tDeq.Sub(j.start))
+		s.tracer.observe(uc, StageParse, tParsed.Sub(tWork))
+		s.tracer.observe(uc, StageProcess, tProcessed.Sub(tParsed))
+	}
 	if out == OutParseError {
-		s.Metrics.Done(out, time.Since(j.start))
-		return response{bytes: formatError(400, "unprocessable message", false)}
+		s.Metrics.Done(out, uc, time.Since(j.start))
+		return response{bytes: formatError(400, "unprocessable message", false), uc: uc, traced: j.traced}
 	}
 	connClose := false
 	if v, ok := req.Get("Connection"); ok && strings.EqualFold(v, "close") {
@@ -319,6 +434,9 @@ func (s *Server) process(j *job) response {
 		// Forwarding mode: the paper's device proxies onward — relay the
 		// backend's answer (or map its failure to 502/504, never hang).
 		resp = s.forward(route, uc, out, req)
+		if j.traced {
+			s.tracer.observe(uc, StageForward, time.Since(tProcessed))
+		}
 	} else {
 		// In-place mode (no backend for this route): synthesize the
 		// routing verdict, the PR 1 behavior.
@@ -333,11 +451,11 @@ func (s *Server) process(j *job) response {
 			Body: []byte(body),
 		}
 	}
-	s.Metrics.Done(out, time.Since(j.start))
+	s.Metrics.Done(out, uc, time.Since(j.start))
 	if connClose {
 		resp.Headers = append(resp.Headers, httpmsg.Header{Name: "Connection", Value: "close"})
 	}
-	return response{bytes: httpmsg.FormatResponse(resp), close: connClose}
+	return response{bytes: httpmsg.FormatResponse(resp), close: connClose, uc: uc, traced: j.traced}
 }
 
 // forward relays one processed message to the route's backend and builds
@@ -398,21 +516,36 @@ func contentTypeOf(req *httpmsg.Request) string {
 }
 
 // handleGet serves the observability surface: GET /stats returns the
-// metrics snapshot as JSON; anything else is 404.
+// metrics snapshot, GET /timeline?last=N the sampling session's ring;
+// anything else is 404.
 func (s *Server) handleGet(raw []byte) []byte {
 	req, err := httpmsg.ParseRequest(raw)
 	if err != nil {
 		return formatError(400, err.Error(), false)
 	}
-	if strings.HasSuffix(strings.TrimSuffix(req.Target, "/"), "stats") {
-		b, _ := json.MarshalIndent(s.Snapshot(), "", "  ")
-		return httpmsg.FormatResponse(&httpmsg.Response{
-			Status:  200,
-			Headers: []httpmsg.Header{{Name: "Content-Type", Value: "application/json"}},
-			Body:    b,
-		})
+	path, query, _ := strings.Cut(req.Target, "?")
+	path = strings.TrimSuffix(path, "/")
+	switch {
+	case strings.HasSuffix(path, "stats"):
+		return jsonResponse(s.Snapshot())
+	case strings.HasSuffix(path, "timeline"):
+		tr, err := s.timelineResponse(query)
+		if err != nil {
+			return formatError(404, err.Error(), false)
+		}
+		return jsonResponse(tr)
 	}
 	return formatError(404, "not found", false)
+}
+
+// jsonResponse builds a 200 with the value marshaled as indented JSON.
+func jsonResponse(v any) []byte {
+	b, _ := json.MarshalIndent(v, "", "  ")
+	return httpmsg.FormatResponse(&httpmsg.Response{
+		Status:  200,
+		Headers: []httpmsg.Header{{Name: "Content-Type", Value: "application/json"}},
+		Body:    b,
+	})
 }
 
 // formatError builds a small JSON error response.
@@ -434,15 +567,21 @@ func formatError(status int, msg string, connClose bool) []byte {
 // Snapshot reads the full observability surface: the gateway counters
 // plus, in forwarding mode, the per-backend upstream section, plus, with
 // the measurement layer on, the hardware/runtime counters section (each
-// call closes one measurement window).
+// call closes one /stats measurement window — the timeline samples
+// through its own view, so the two never steal each other's deltas),
+// plus the stage-trace and sampling-session sections when enabled.
 func (s *Server) Snapshot() Snapshot {
 	snap := s.Metrics.Snapshot()
 	if s.fwd != nil {
 		snap.Upstream = s.fwd.Snapshot()
 	}
-	if s.counters != nil {
-		snap.Counters = s.counters.snapshot()
+	if s.statsView != nil {
+		snap.Counters = s.statsView.snapshot()
 	}
+	if s.tracer != nil {
+		snap.Stages = s.tracer.snapshot()
+	}
+	snap.Timeline = s.timelineInfo()
 	return snap
 }
 
@@ -484,8 +623,12 @@ func (s *Server) shutdown(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	s.connWG.Wait()
+	// Stop the sampling session before the workers: its last sample then
+	// still sees the full pool, and no sampler tick runs against a
+	// half-torn-down measurement layer.
+	s.closeTimeline()
 	close(s.jobs)
-	s.workerWG.Wait()
+	s.workerWG.Wait() // workers close their per-thread groups on exit
 	if s.fwd != nil {
 		s.fwd.Close()
 	}

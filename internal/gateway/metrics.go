@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/lhist"
 	"repro/internal/upstream"
+	"repro/internal/workload"
 )
 
 // Hist is the shared log2-bucketed latency histogram (internal/lhist),
@@ -69,16 +70,25 @@ type Metrics struct {
 	IdleTimeouts atomic.Uint64 // client connections reaped by the read deadline
 
 	Latency Hist
-	rate    rateRing
+	// LatencyByUC splits the service-time histogram per use case
+	// (FR/CBR/SV plus the DPI/AUTH extensions), so end-to-end latency is
+	// comparable per workload — and lines up with the per-use-case stage
+	// traces.
+	LatencyByUC [numTraceUseCases]Hist
+	rate        rateRing
 }
 
 // NewMetrics starts the clock.
 func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
 
-// Done records one completed message with its service latency.
-func (m *Metrics) Done(outcome Outcome, d time.Duration) {
+// Done records one completed message with its service latency,
+// attributed to the use case that processed it.
+func (m *Metrics) Done(outcome Outcome, uc workload.UseCase, d time.Duration) {
 	m.Messages.Add(1)
 	m.Latency.Observe(d)
+	if uc >= 0 && int(uc) < len(m.LatencyByUC) {
+		m.LatencyByUC[uc].Observe(d)
+	}
 	m.rate.tick(time.Now())
 	switch outcome {
 	case OutForwarded:
@@ -114,14 +124,23 @@ type Snapshot struct {
 	LastSecMsgs  uint64       `json:"last_sec_msgs"` // most recent full second
 	MbpsIn       float64      `json:"mbps_in"`       // lifetime average
 	Latency      HistSnapshot `json:"latency"`
+	// LatencyByUseCase carries one latency histogram per use case that
+	// served at least one message, keyed "FR"/"CBR"/"SV"/"DPI"/"AUTH".
+	LatencyByUseCase map[string]HistSnapshot `json:"latency_by_usecase,omitempty"`
 	// Upstream is the per-backend forwarding view (nil when the gateway
 	// answers in place — no backends configured).
 	Upstream map[string]upstream.Snapshot `json:"upstream,omitempty"`
 	// Counters is the live measurement layer (nil when Config.Counters is
 	// off): windowed perf-counter deltas and derived CPI/BrMPR in "hw"
 	// mode, runtime metrics always, model-predicted derived metrics in
-	// the "runtime-only" fallback.
+	// the "runtime-only" fallback, plus the per-worker skew view.
 	Counters *CountersSnapshot `json:"counters,omitempty"`
+	// Stages is the sampled per-use-case stage trace (nil when tracing
+	// is off): read/queue/parse/process/forward/write percentiles.
+	Stages StageSnapshot `json:"stages,omitempty"`
+	// Timeline summarizes the sampling session (nil when none runs); the
+	// full ring is served by GET /timeline.
+	Timeline *TimelineInfo `json:"timeline,omitempty"`
 }
 
 // Snapshot reads every counter.
@@ -133,6 +152,17 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	msgs := m.Messages.Load()
 	in := m.BytesIn.Load()
+	var byUC map[string]HistSnapshot
+	for i := range m.LatencyByUC {
+		s := m.LatencyByUC[i].Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		if byUC == nil {
+			byUC = map[string]HistSnapshot{}
+		}
+		byUC[workload.UseCase(i).String()] = s
+	}
 	return Snapshot{
 		UptimeSec:    up,
 		Conns:        m.Conns.Load(),
@@ -150,7 +180,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		IdleTimeouts: m.IdleTimeouts.Load(),
 		MsgsPerSec:   float64(msgs) / up,
 		LastSecMsgs:  m.rate.lastSecond(now),
-		MbpsIn:       float64(in) * 8 / 1e6 / up,
-		Latency:      m.Latency.Snapshot(),
+		MbpsIn:           float64(in) * 8 / 1e6 / up,
+		Latency:          m.Latency.Snapshot(),
+		LatencyByUseCase: byUC,
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"strings"
 	"time"
+
+	"repro/internal/workload"
 )
 
 // SweepResult is one row of the scaling study: the gateway run with n
@@ -138,4 +140,59 @@ func FormatSweepTable(rows []SweepResult) string {
 		fmt.Fprintf(&b, "* model prediction — %s\n", fallback)
 	}
 	return b.String()
+}
+
+// FormatStageTable renders the sweep's per-stage latency breakdown: for
+// each width and each use case that traced requests, the sampled
+// p50/p99 of every pipeline stage (read→queue→parse→process→forward→
+// write, microseconds). This is the live analogue of the paper's
+// per-phase profile next to its scaling figures — it shows *where* the
+// added width went (queue wait collapsing, parse staying flat, ...).
+// Empty when no row carried stage traces.
+func FormatStageTable(rows []SweepResult) string {
+	any := false
+	for _, r := range rows {
+		if len(r.Server.Stages) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return ""
+	}
+	stages := StageNames()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-7s", "GOMAXPROCS", "usecase")
+	for _, st := range stages {
+		fmt.Fprintf(&b, " %13s", st+" p50/p99")
+	}
+	b.WriteString("  (us)\n")
+	for _, r := range rows {
+		for _, uc := range stageUseCaseOrder(r.Server.Stages) {
+			fmt.Fprintf(&b, "%-10d %-7s", r.Procs, uc)
+			for _, st := range stages {
+				s, ok := r.Server.Stages[uc][st]
+				if !ok || s.Count == 0 {
+					fmt.Fprintf(&b, " %13s", "-")
+					continue
+				}
+				fmt.Fprintf(&b, " %13s", fmt.Sprintf("%d/%d", s.P50US, s.P99US))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// stageUseCaseOrder lists the snapshot's use cases in pipeline-enum
+// order so the table is stable across runs.
+func stageUseCaseOrder(s StageSnapshot) []string {
+	var out []string
+	for uci := 0; uci < numTraceUseCases; uci++ {
+		name := workload.UseCase(uci).String()
+		if _, ok := s[name]; ok {
+			out = append(out, name)
+		}
+	}
+	return out
 }

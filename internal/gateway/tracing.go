@@ -1,0 +1,116 @@
+package gateway
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lhist"
+	"repro/internal/workload"
+)
+
+// Stage names one segment of a request's path through the gateway —
+// the live analogue of the paper's per-phase VTune breakdown: where the
+// end-to-end latency histogram says how long a message took, the stage
+// trace says where it went.
+type Stage int
+
+const (
+	// StageRead: wire→memory — framing the request off the socket,
+	// first byte to complete body (keep-alive idle time excluded).
+	StageRead Stage = iota
+	// StageQueue: admission queue wait, enqueue to worker dequeue — the
+	// paper's thread-pool queueing delay made visible.
+	StageQueue
+	// StageParse: the full HTTP parse on the worker.
+	StageParse
+	// StageProcess: the use-case pipeline — route/validate/inspect.
+	StageProcess
+	// StageForward: the upstream round trip (forwarding mode only).
+	StageForward
+	// StageWrite: serializing and writing the response to the client.
+	StageWrite
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"read", "queue", "parse", "process", "forward", "write",
+}
+
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return "invalid"
+	}
+	return stageNames[s]
+}
+
+// numTraceUseCases covers FR/CBR/SV plus the DPI/AUTH extensions.
+const numTraceUseCases = 5
+
+// stageTracer aggregates cheap monotonic stamps into per-use-case,
+// per-stage latency histograms. Requests are sampled 1-in-every so the
+// stamps stay off most messages' paths (BenchmarkGatewayTracing guards
+// the overhead at <= 3%); the histograms themselves are lock-free, so
+// traced requests pay only a handful of time.Now calls and atomic adds.
+type stageTracer struct {
+	every uint32
+	seq   atomic.Uint32
+	hists [numTraceUseCases][numStages]lhist.Hist
+}
+
+// newStageTracer samples one request in every (minimum 1 = every
+// request).
+func newStageTracer(every int) *stageTracer {
+	if every < 1 {
+		every = 1
+	}
+	return &stageTracer{every: uint32(every)}
+}
+
+// sample decides whether the next request is traced.
+func (t *stageTracer) sample() bool {
+	return t.seq.Add(1)%t.every == 0
+}
+
+// observe records one stage duration for a traced request.
+func (t *stageTracer) observe(uc workload.UseCase, st Stage, d time.Duration) {
+	if uc < 0 || int(uc) >= numTraceUseCases || st < 0 || st >= numStages {
+		return
+	}
+	t.hists[uc][st].Observe(d)
+}
+
+// StageSnapshot is the /stats "stages" section: per use case, per stage
+// percentile reads of the sampled trace population.
+type StageSnapshot map[string]map[string]lhist.Snapshot
+
+// snapshot renders every use case that traced at least one request.
+func (t *stageTracer) snapshot() StageSnapshot {
+	out := StageSnapshot{}
+	for uci := 0; uci < numTraceUseCases; uci++ {
+		var stages map[string]lhist.Snapshot
+		for st := Stage(0); st < numStages; st++ {
+			s := t.hists[uci][st].Snapshot()
+			if s.Count == 0 {
+				continue
+			}
+			if stages == nil {
+				stages = map[string]lhist.Snapshot{}
+			}
+			stages[st.String()] = s
+		}
+		if stages != nil {
+			out[workload.UseCase(uci).String()] = stages
+		}
+	}
+	return out
+}
+
+// StageNames lists the trace stages in pipeline order, for table
+// renderers that want stable column order.
+func StageNames() []string {
+	out := make([]string, numStages)
+	for i := range out {
+		out[i] = stageNames[i]
+	}
+	return out
+}

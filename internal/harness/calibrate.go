@@ -1,0 +1,196 @@
+package harness
+
+// This file closes the loop between the reproduction's two halves: a
+// live sampling session (internal/session driven by the gateway's
+// perf-counter measurement layer) is replayed against the simulated
+// machine's model, and the per-use-case deltas are written as a
+// calibration artifact the simulator side can ingest — live CPI feeding
+// back into the model. It also hosts the cached model predictions the
+// gateway's runtime-only fallback publishes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/perf/counters"
+	"repro/internal/perf/machine"
+	"repro/internal/workload"
+)
+
+// CalibrationEntry is one use case's live-vs-model delta. Scales are
+// live/sim ratios; Apply multiplies model predictions by them. When the
+// live side itself ran in the model fallback (no perf events), LiveSource
+// is "model" and every scale is pinned to 1 — a session cannot calibrate
+// the model against itself.
+type CalibrationEntry struct {
+	Samples    int     `json:"samples"`     // timeline samples averaged
+	LiveSource string  `json:"live_source"` // "hw" or "model"
+	SimCPI     float64 `json:"sim_cpi"`
+	LiveCPI    float64 `json:"live_cpi"`
+	CPIScale   float64 `json:"cpi_scale"`
+	SimMPI     float64 `json:"sim_l2mpi_pct"`
+	LiveMPI    float64 `json:"live_cache_mpi_pct"`
+	MPIScale   float64 `json:"mpi_scale"`
+	SimBrMPR   float64 `json:"sim_br_mpr_pct"`
+	LiveBrMPR  float64 `json:"live_br_mpr_pct"`
+	BrMPRScale float64 `json:"br_mpr_scale"`
+}
+
+// Calibration is the on-disk artifact: one entry per use case measured
+// against one simulated configuration.
+type Calibration struct {
+	Config  string                      `json:"config"` // simulated machine, e.g. "2CPm"
+	Entries map[string]CalibrationEntry `json:"entries"`
+}
+
+// NewCalibrationEntry builds one delta from a session's mean live
+// metrics and the simulator's predicted ones. Ratios with a zero sim
+// denominator, a zero live reading, or a model-sourced live side stay 1.
+func NewCalibrationEntry(sim counters.Metrics, liveCPI, liveMPI, liveBrMPR float64, samples int, liveSource string) CalibrationEntry {
+	e := CalibrationEntry{
+		Samples: samples, LiveSource: liveSource,
+		SimCPI: sim.CPI, LiveCPI: liveCPI, CPIScale: 1,
+		SimMPI: sim.L2MPI, LiveMPI: liveMPI, MPIScale: 1,
+		SimBrMPR: sim.BrMPR, LiveBrMPR: liveBrMPR, BrMPRScale: 1,
+	}
+	if liveSource != "hw" {
+		return e
+	}
+	if sim.CPI > 0 && liveCPI > 0 {
+		e.CPIScale = liveCPI / sim.CPI
+	}
+	if sim.L2MPI > 0 && liveMPI > 0 {
+		e.MPIScale = liveMPI / sim.L2MPI
+	}
+	if sim.BrMPR > 0 && liveBrMPR > 0 {
+		e.BrMPRScale = liveBrMPR / sim.BrMPR
+	}
+	return e
+}
+
+// Apply scales a model prediction by the stored live/sim ratios for uc.
+// Unknown use cases and identity entries pass m through unchanged.
+func (c *Calibration) Apply(uc workload.UseCase, m counters.Metrics) counters.Metrics {
+	if c == nil {
+		return m
+	}
+	e, ok := c.Entries[uc.String()]
+	if !ok {
+		return m
+	}
+	if e.CPIScale > 0 {
+		m.CPI *= e.CPIScale
+	}
+	if e.MPIScale > 0 {
+		m.L2MPI *= e.MPIScale
+	}
+	if e.BrMPRScale > 0 {
+		m.BrMPR *= e.BrMPRScale
+	}
+	return m
+}
+
+// Identity reports whether applying c would change nothing — every entry
+// carries unit scales (e.g. a session recorded in model-fallback mode).
+func (c *Calibration) Identity() bool {
+	for _, e := range c.Entries {
+		if e.CPIScale != 1 || e.MPIScale != 1 || e.BrMPRScale != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteFile persists the artifact as indented JSON.
+func (c *Calibration) WriteFile(path string) error {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadCalibration reads an artifact written by WriteFile (or by
+// hwreport -timeline).
+func LoadCalibration(path string) (*Calibration, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Calibration
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("harness: bad calibration file %s: %w", path, err)
+	}
+	if len(c.Entries) == 0 {
+		return nil, fmt.Errorf("harness: calibration file %s has no entries", path)
+	}
+	return &c, nil
+}
+
+// predictedOpts sizes the cached model runs below: long enough for a
+// steady window, short enough that a lazy first computation stays
+// sub-second.
+var predictedOpts = AONOpts{WarmupMsgs: 20, MeasureMsgs: 60, Window: 32}
+
+type predictedKey struct {
+	id machine.ConfigID
+	uc workload.UseCase
+}
+
+type predictedEntry struct {
+	once sync.Once
+	done atomic.Bool // set when once's body has finished
+	m    counters.Metrics
+	err  error
+}
+
+var (
+	predictedMu    sync.Mutex
+	predictedCache = map[predictedKey]*predictedEntry{}
+)
+
+// PredictedMetrics runs (once per process, then caches) a short
+// simulated measurement of uc on configuration id and returns the
+// model's predicted counter metrics. It is the source of the per-use-
+// case cache-MPI the runtime-only fallback publishes on /stats — the
+// paper's tables publish no per-use-case L2MPI, so the calibrated model
+// is the best available reference. The first call per key costs a model
+// run (~0.5s); callers on a sampling path should use
+// TryPredictedMetrics and warm this in the background.
+func PredictedMetrics(id machine.ConfigID, uc workload.UseCase) (counters.Metrics, error) {
+	key := predictedKey{id, uc}
+	predictedMu.Lock()
+	e, ok := predictedCache[key]
+	if !ok {
+		e = &predictedEntry{}
+		predictedCache[key] = e
+	}
+	predictedMu.Unlock()
+	e.once.Do(func() {
+		defer e.done.Store(true)
+		r, err := RunAON(id, uc, predictedOpts)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.m = r.Metrics
+	})
+	return e.m, e.err
+}
+
+// TryPredictedMetrics returns the cached prediction without computing:
+// ok is false until some PredictedMetrics call for the key has finished
+// (successfully). Sampling paths call this so a model run never blocks a
+// 100ms sampling tick.
+func TryPredictedMetrics(id machine.ConfigID, uc workload.UseCase) (counters.Metrics, bool) {
+	predictedMu.Lock()
+	e, ok := predictedCache[predictedKey{id, uc}]
+	predictedMu.Unlock()
+	if !ok || !e.done.Load() || e.err != nil {
+		return counters.Metrics{}, false
+	}
+	return e.m, true
+}

@@ -96,6 +96,11 @@ func (g *Group) Grouped() bool { return g.grouped }
 // unprivileged-profile concession when perf_event_paranoid demands it.
 func (g *Group) UserOnly() bool { return g.userOnly }
 
+// Supported reports that this platform can attempt perf_event_open at
+// all. True here; whether the host actually grants events is decided by
+// Open/OpenThread at runtime.
+func Supported() bool { return true }
+
 // Open opens the fixed event set for this process (pid 0, any CPU, with
 // inherit so threads spawned after the open are counted — Go's scheduler
 // creates most Ms lazily, so an Open at startup attributes the serving
@@ -109,11 +114,23 @@ func (g *Group) UserOnly() bool { return g.userOnly }
 // and each strategy retries with exclude_kernel when the paranoid level
 // denies kernel-mode counting. The first error of the last strategy is
 // returned when nothing works (no PMU, seccomp, paranoid >= 3).
-func Open() (*Group, error) {
+func Open() (*Group, error) { return openSet(true) }
+
+// OpenThread opens the fixed event set scoped to the calling OS thread
+// only (pid 0, no inherit): the per-worker counter group behind the
+// gateway's per-worker CPI skew. The caller must pin its goroutine with
+// runtime.LockOSThread *before* calling, and keep it pinned for the
+// group's lifetime, or the readings attribute a thread the goroutine no
+// longer runs on. Without inherit most kernels accept PERF_FORMAT_GROUP,
+// so per-thread groups usually get the atomic grouped read that the
+// process-wide set is denied.
+func OpenThread() (*Group, error) { return openSet(false) }
+
+func openSet(inherit bool) (*Group, error) {
 	var lastErr error
 	for _, grouped := range []bool{true, false} {
 		for _, userOnly := range []bool{false, true} {
-			g, err := open(grouped, userOnly)
+			g, err := open(grouped, userOnly, inherit)
 			if err == nil {
 				return g, nil
 			}
@@ -123,7 +140,7 @@ func Open() (*Group, error) {
 	return nil, lastErr
 }
 
-func open(grouped, userOnly bool) (*Group, error) {
+func open(grouped, userOnly, inherit bool) (*Group, error) {
 	g := &Group{grouped: grouped, userOnly: userOnly}
 	for i := range g.fds {
 		g.fds[i] = -1
@@ -132,7 +149,10 @@ func open(grouped, userOnly bool) (*Group, error) {
 		attr := perfEventAttr{
 			Type:   perfTypeHardware,
 			Config: hwConfig[e],
-			Bits:   attrInherit | attrExcludeHV,
+			Bits:   attrExcludeHV,
+		}
+		if inherit {
+			attr.Bits |= attrInherit
 		}
 		attr.Size = uint32(unsafe.Sizeof(attr))
 		if userOnly {

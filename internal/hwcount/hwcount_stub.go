@@ -5,9 +5,15 @@ package hwcount
 // Group is the unsupported-platform stand-in; Open never produces one.
 type Group struct{}
 
+// Supported reports that this platform cannot open perf events at all.
+func Supported() bool { return false }
+
 // Open always fails where perf_event_open is unavailable; callers fall
 // back to runtime-metrics-only observability.
 func Open() (*Group, error) { return nil, ErrUnsupported }
+
+// OpenThread always fails where perf_event_open is unavailable.
+func OpenThread() (*Group, error) { return nil, ErrUnsupported }
 
 // Grouped reports false on unsupported platforms.
 func (g *Group) Grouped() bool { return false }

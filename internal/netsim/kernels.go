@@ -1,6 +1,10 @@
 package netsim
 
-import "repro/internal/perf/trace"
+import (
+	"sync/atomic"
+
+	"repro/internal/perf/trace"
+)
 
 // Instrumented network-stack kernels. Each Emit* function produces the
 // micro-op stream of one operation of the simulated kernel's TCP/IP stack.
@@ -82,22 +86,26 @@ func EmitChecksum(em trace.Emitter, addr uint64, n int, data []byte) {
 // timer work on a coarser period). Predictors with long global histories
 // learn the longer periods; short-history predictors cannot — one of the
 // structural reasons the Pentium M's misprediction ratios sit well below
-// Netburst's in Table 3/Table 6.
-var segSeq uint64
+// Netburst's in Table 3/Table 6. The counter is shared across all
+// simulated machines in the process and atomic, so simulator runs may
+// proceed concurrently (e.g. the harness's background model warming next
+// to a foreground run); interleaving only dephases the medium-period
+// patterns, which is noise the predictors already see.
+var segSeq atomic.Uint64
 
 // EmitRxHeader emits the per-segment receive-side header processing: IP
 // validation, TCP state lookup, sequence/ack handling.
 func EmitRxHeader(em trace.Emitter, hdrAddr uint64, segIndex int) {
-	segSeq++
+	seq := segSeq.Add(1)
 	em.Load(hdrAddr, 6) // header words
 	em.ALU(22)          // field extraction, validation arithmetic
 	em.Branch(hdrValidPC, true)
-	em.Branch(hdrOptsPC, segIndex == 0)   // options parsed on first segment
-	em.Load(hdrAddr+64, 8)                // socket/TCB lookup
-	em.ALU(30)                            // state machine, window update
-	em.Branch(hdrAckPC, segSeq%2 == 0)    // delayed ACK
-	em.Branch(hdrWndPC, segSeq%7 == 0)    // window update
-	em.Branch(hdrTimerPC, segSeq%13 == 0) // timer/bookkeeping slow path
+	em.Branch(hdrOptsPC, segIndex == 0) // options parsed on first segment
+	em.Load(hdrAddr+64, 8)              // socket/TCB lookup
+	em.ALU(30)                          // state machine, window update
+	em.Branch(hdrAckPC, seq%2 == 0)     // delayed ACK
+	em.Branch(hdrWndPC, seq%7 == 0)     // window update
+	em.Branch(hdrTimerPC, seq%13 == 0)  // timer/bookkeeping slow path
 	em.Store(hdrAddr+128, 6)              // TCB writeback
 	em.ALU(12)
 	em.Branch(hdrPushPC, true)
@@ -106,15 +114,15 @@ func EmitRxHeader(em trace.Emitter, hdrAddr uint64, segIndex int) {
 // EmitTxHeader emits the per-segment transmit-side header construction:
 // TCB read, header build, checksum of the header, queueing to the device.
 func EmitTxHeader(em trace.Emitter, hdrAddr uint64, segIndex int) {
-	segSeq++
+	seq := segSeq.Add(1)
 	em.Load(hdrAddr, 8) // TCB
 	em.ALU(28)          // header assembly, seq arithmetic
 	em.Store(hdrAddr+64, 8)
 	em.ALU(14) // qdisc enqueue
 	em.Branch(hdrValidPC, true)
 	em.Branch(hdrAckPC, segIndex != 0)
-	em.Branch(hdrWndPC, segSeq%7 == 0)
-	em.Branch(hdrTimerPC, segSeq%13 == 0)
+	em.Branch(hdrWndPC, seq%7 == 0)
+	em.Branch(hdrTimerPC, seq%13 == 0)
 }
 
 // EmitSyscall emits the fixed cost of one socket system call (user/kernel

@@ -1,0 +1,65 @@
+package session
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the fixed dump schema. Per-worker metrics are flattened
+// to the skew extremes (min/max CPI across workers) so the row width
+// stays constant regardless of pool size; the full per-worker detail
+// lives in the JSON forms (/timeline and the /stats timeline section).
+var csvHeader = []string{
+	"t_ms", "window_sec",
+	"messages", "msgs_per_sec", "bytes_in", "shed",
+	"latency_p50_us", "latency_p99_us",
+	"cpi", "cache_mpi_pct", "br_mpr_pct", "derived_source",
+	"workers", "worker_cpi_min", "worker_cpi_max",
+	"goroutines", "gc_cpu_pct", "sched_lat_p99_us",
+	"upstream_idle_conns", "upstream_healthy",
+}
+
+// WriteCSV dumps samples (chronological) in the fixed schema — the
+// session artifact aongate writes on SIGUSR1/shutdown and CI uploads.
+func WriteCSV(w io.Writer, samples []Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for _, s := range samples {
+		cpiMin, cpiMax := workerCPIBounds(s.Workers)
+		row := []string{
+			strconv.FormatInt(s.TMS, 10), f(s.WindowSec),
+			u(s.Messages), f(s.MsgsPerSec), u(s.BytesIn), u(s.Shed),
+			u(s.LatencyP50US), u(s.LatencyP99US),
+			f(s.CPI), f(s.CacheMPI), f(s.BrMPR), s.DerivedSource,
+			strconv.Itoa(len(s.Workers)), f(cpiMin), f(cpiMax),
+			strconv.Itoa(s.Goroutines), f(s.GCCPUPct), f(s.SchedLatP99US),
+			strconv.Itoa(s.UpstreamIdle), strconv.Itoa(s.UpstreamHealthy),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("session: csv flush: %w", err)
+	}
+	return nil
+}
+
+func workerCPIBounds(ws []WorkerSample) (min, max float64) {
+	for i, w := range ws {
+		if i == 0 || w.CPI < min {
+			min = w.CPI
+		}
+		if i == 0 || w.CPI > max {
+			max = w.CPI
+		}
+	}
+	return min, max
+}

@@ -1,0 +1,224 @@
+// Package session records VTune-style sampling sessions for the live
+// gateway: a fixed-interval sampler (default 100ms, the granularity the
+// paper's VTune sampling sessions ran at) snapshots the measurement
+// layer into a bounded ring-buffer timeline. Where PR 3's windowed
+// /stats reading shows *that* CPI differs across use cases, the timeline
+// shows *when* — counter and latency values over time, per worker — the
+// raw material for the paper's CPI-over-time figures.
+//
+// The package is deliberately generic: the sampler owns the clock, the
+// ring, and the lifecycle; the caller (the gateway) supplies a sample
+// function that flattens whatever it observes — counter windows,
+// throughput deltas, pool gauges — into a Sample. That keeps session
+// free of any dependency on the measurement packages and reusable by
+// other subsystems.
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// WorkerSample is one worker's derived counter window inside a Sample —
+// the per-thread view that exposes CPI/cache/branch skew across the pool
+// instead of one process-wide average.
+type WorkerSample struct {
+	Worker int `json:"worker"`
+	// CPI, CacheMPI, BrMPR follow the paper's Section 3.3 definitions
+	// (see internal/hwcount.Derived).
+	CPI           float64 `json:"cpi"`
+	CacheMPI      float64 `json:"cache_mpi_pct"`
+	BrMPR         float64 `json:"br_mpr_pct"`
+	DerivedSource string  `json:"derived_source"` // "hw" or "model"
+}
+
+// Sample is one fixed-interval observation: gateway throughput deltas
+// over the window, the latency view, the derived counter metrics
+// (process aggregate plus per-worker), runtime-health gauges, and the
+// upstream pool gauges when the gateway forwards.
+type Sample struct {
+	// TMS is the sample's wall-clock time in Unix milliseconds.
+	TMS int64 `json:"t_ms"`
+	// WindowSec is the measurement window this sample closed.
+	WindowSec float64 `json:"window_sec"`
+
+	// Gateway deltas over the window.
+	Messages   uint64  `json:"messages"`
+	BytesIn    uint64  `json:"bytes_in"`
+	Shed       uint64  `json:"shed"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+
+	// Latency percentiles at sample time (cumulative histogram — the
+	// bounded-memory compromise; the *timeline* of these values is still
+	// time-resolved because each sample re-reads them).
+	LatencyP50US uint64 `json:"latency_p50_us"`
+	LatencyP99US uint64 `json:"latency_p99_us"`
+
+	// Derived counter metrics for the window: process aggregate...
+	CPI           float64 `json:"cpi"`
+	CacheMPI      float64 `json:"cache_mpi_pct"`
+	BrMPR         float64 `json:"br_mpr_pct"`
+	DerivedSource string  `json:"derived_source"` // "hw" or "model"
+	// ...and the per-worker skew.
+	Workers []WorkerSample `json:"workers,omitempty"`
+
+	// Runtime gauges.
+	Goroutines    int     `json:"goroutines"`
+	GCCPUPct      float64 `json:"gc_cpu_pct"`
+	SchedLatP99US float64 `json:"sched_lat_p99_us"`
+
+	// Upstream pool gauges (zero when the gateway answers in place).
+	UpstreamIdle    int `json:"upstream_idle_conns,omitempty"`
+	UpstreamHealthy int `json:"upstream_healthy,omitempty"`
+}
+
+// Ring is the bounded sample buffer: the newest Capacity samples win,
+// older ones fall off. Safe for concurrent Add and Last.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Sample
+	total uint64 // lifetime samples added
+}
+
+// NewRing sizes a ring; capacity <= 0 panics (the sampler validates).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("session: ring capacity %d, want > 0", capacity))
+	}
+	return &Ring{buf: make([]Sample, 0, capacity)}
+}
+
+// Add appends one sample, evicting the oldest when full.
+func (r *Ring) Add(s Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.total%uint64(cap(r.buf))] = s
+	}
+	r.total++
+}
+
+// Last returns the most recent n samples in chronological order (all
+// kept samples when n <= 0 or n exceeds what the ring holds).
+func (r *Ring) Last(n int) []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := len(r.buf)
+	if n <= 0 || n > kept {
+		n = kept
+	}
+	out := make([]Sample, 0, n)
+	// Oldest kept sample is at total-kept; we want the last n of the
+	// kept window, i.e. indices [total-n, total).
+	for i := r.total - uint64(n); i < r.total; i++ {
+		out = append(out, r.buf[i%uint64(cap(r.buf))])
+	}
+	return out
+}
+
+// Total is the lifetime sample count (including evicted ones).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Kept is how many samples the ring currently holds.
+func (r *Ring) Kept() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Config parameterizes a sampling session.
+type Config struct {
+	// Interval is the sampling period; 0 means the 100ms default (the
+	// VTune sampling-session granularity). Negative is rejected.
+	Interval time.Duration
+	// Capacity bounds the ring; 0 means 600 samples (one minute at the
+	// default interval). Negative is rejected.
+	Capacity int
+}
+
+// DefaultInterval is the paper-style sampling period.
+const DefaultInterval = 100 * time.Millisecond
+
+// DefaultCapacity keeps one minute of samples at the default interval.
+const DefaultCapacity = 600
+
+// Sampler drives one sampling session: a background goroutine calls fn
+// every interval and records the result. Close stops and joins it.
+type Sampler struct {
+	ring     *Ring
+	interval time.Duration
+	fn       func() Sample
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// Start begins a session. fn is called from the sampler goroutine only,
+// so it may keep unsynchronized previous-window state of its own.
+func Start(cfg Config, fn func() Sample) (*Sampler, error) {
+	if cfg.Interval < 0 {
+		return nil, fmt.Errorf("session: sampling interval %v, want > 0", cfg.Interval)
+	}
+	if cfg.Capacity < 0 {
+		return nil, fmt.Errorf("session: ring capacity %d, want > 0", cfg.Capacity)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("session: nil sample function")
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	s := &Sampler{
+		ring:     NewRing(cfg.Capacity),
+		interval: cfg.Interval,
+		fn:       fn,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.loop()
+	return s, nil
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.ring.Add(s.fn())
+		}
+	}
+}
+
+// Close stops the session and joins the sampler goroutine; after Close
+// returns, fn will never be called again. Idempotent.
+func (s *Sampler) Close() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Interval reports the sampling period in effect.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// Last returns the most recent n samples in chronological order.
+func (s *Sampler) Last(n int) []Sample { return s.ring.Last(n) }
+
+// Total is the lifetime sample count.
+func (s *Sampler) Total() uint64 { return s.ring.Total() }
+
+// Kept is how many samples the ring currently holds.
+func (s *Sampler) Kept() int { return s.ring.Kept() }
