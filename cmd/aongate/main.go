@@ -34,6 +34,15 @@
 // final ring there too. -trace-every N samples one request in N through
 // per-stage monotonic stamps, served as the /stats "stages" section.
 //
+// With -adaptive, an analytic M/M/c capacity controller
+// (internal/capacity) runs beside the pool: every -adapt-interval it
+// reads the traced stage demands and the last window's load, solves the
+// queueing model, and resizes the worker pool and the 503 admission
+// bound toward -target-p99 — falling back to the static -workers/-queue
+// settings when observations go stale or the model diverges from
+// measurement. /stats gains a "capacity" section with the decision,
+// predicted-vs-observed error, and per-use-case model error.
+//
 // SIGINT/SIGTERM drains gracefully (bounded by -drain) and prints the
 // final metrics snapshot as JSON on stdout.
 package main
@@ -77,6 +86,12 @@ func main() {
 	sampleCap := flag.Int("sample-cap", 0, "timeline ring capacity in samples (0 = 600)")
 	traceEvery := flag.Int("trace-every", 0, "trace request stages for 1 in every N requests (0 = off)")
 	timelineOut := flag.String("timeline-out", "aon-timeline.csv", "CSV path for timeline dumps (SIGUSR1 and shutdown)")
+	adaptive := flag.Bool("adaptive", false, "run the capacity controller: the M/M/c model resizes the worker pool and moves the 503 admission bound from live observations (implies -trace-every)")
+	targetP99 := flag.Duration("target-p99", 0, "adaptive mode: p99 latency bound the controller sizes for (0 = default 100ms)")
+	adaptInterval := flag.Duration("adapt-interval", 0, "adaptive mode: control-loop period (0 = default 500ms)")
+	minWorkers := flag.Int("min-workers", 0, "adaptive mode: pool floor (0 = default 1)")
+	maxWorkers := flag.Int("max-workers", 0, "adaptive mode: pool ceiling (0 = default 4x -workers)")
+	maxInflight := flag.Int64("max-inflight", 0, "adaptive mode: admission-bound ceiling (0 = default 16x(workers+queue))")
 	flag.Parse()
 
 	uc, err := workload.ParseUseCase(*ucName)
@@ -117,6 +132,12 @@ func main() {
 		SampleInterval: *sampleInterval,
 		SampleCapacity: *sampleCap,
 		TraceEvery:     *traceEvery,
+		Adaptive:       *adaptive,
+		TargetP99:      *targetP99,
+		AdaptInterval:  *adaptInterval,
+		MinWorkers:     *minWorkers,
+		MaxWorkers:     *maxWorkers,
+		MaxInflight:    *maxInflight,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aongate:", err)
@@ -143,6 +164,9 @@ func main() {
 	if *timeline {
 		fmt.Fprintf(os.Stderr, "aongate: sampling session every %v (GET /timeline, SIGUSR1 dumps CSV to %s)\n",
 			*sampleInterval, *timelineOut)
+	}
+	if *adaptive {
+		fmt.Fprintln(os.Stderr, "aongate: adaptive capacity control on (/stats carries the capacity section)")
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -70,6 +70,7 @@ func main() {
 	timeline := flag.Bool("timeline", false, "sweep mode: run a sampling session per width (implies -counters)")
 	sampleInterval := flag.Duration("sample-interval", 100*time.Millisecond, "sampling period for -timeline (must be positive)")
 	traceEvery := flag.Int("trace-every", 16, "sweep mode: trace 1 in every N requests through pipeline stages; per-stage table after the sweep (0 = off)")
+	targetP99 := flag.Duration("target-p99", 100*time.Millisecond, "sweep mode: p99 bound for the model table's admissible-load column")
 	flag.Parse()
 
 	uc, err := workload.ParseUseCase(*ucName)
@@ -153,6 +154,9 @@ func main() {
 		fmt.Fprint(os.Stderr, gateway.FormatSweepTable(rows))
 		if st := gateway.FormatStageTable(rows); st != "" {
 			fmt.Fprintf(os.Stderr, "\nper-stage latency (sampled 1 in %d):\n%s", *traceEvery, st)
+		}
+		if mt := gateway.FormatModelTable(rows, *targetP99); mt != "" {
+			fmt.Fprintf(os.Stderr, "\ncapacity model vs measured (per load point):\n%s", mt)
 		}
 		b, _ := json.MarshalIndent(rows, "", "  ")
 		fmt.Println(string(b))

@@ -27,7 +27,22 @@ func main() {
 	warm := flag.Int("warmup", 120, "warmup messages per AON run")
 	measureMs := flag.Float64("netperf-ms", 8, "netperf measurement window (simulated ms)")
 	checks := flag.Bool("checks", true, "run the qualitative shape checks")
+	calIn := flag.String("calibration", "", "apply a live calibration artifact (written by hwreport -timeline) to the simulated counter predictions")
 	flag.Parse()
+
+	var cal *harness.Calibration
+	if *calIn != "" {
+		var err error
+		cal, err = harness.LoadCalibration(*calIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aonsim:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "aonsim: applying calibration %s (recorded against %s)\n", *calIn, cal.Config)
+		if cal.Identity() {
+			fmt.Fprintln(os.Stderr, "aonsim: calibration carries identity scales (recorded without live perf events); predictions unchanged")
+		}
+	}
 
 	needNetperf := *exp == "all" || *exp == "fig2" || *exp == "table3"
 	needAON := *exp == "all" || *exp == "fig3" || *exp == "table4" ||
@@ -62,6 +77,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "aonsim:", err)
 			os.Exit(1)
 		}
+		cal.ApplyMatrix(amx)
 	}
 
 	show := func(name string, t harness.Table, cs []harness.ShapeCheck) {

@@ -35,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/gateway"
@@ -49,6 +51,7 @@ import (
 // metrics next to the live gateway's measured (or fallback) ones.
 type Row struct {
 	UseCase      string                    `json:"usecase"`
+	Width        int                       `json:"width,omitempty"` // -timeline -widths: live worker-pool width
 	SimConfig    string                    `json:"sim_config"`
 	SimMsgsPerS  float64                   `json:"sim_msgs_per_sec"`
 	Sim          counters.Metrics          `json:"sim"`
@@ -72,6 +75,7 @@ func main() {
 	liveDur := flag.Duration("live-duration", 2*time.Second, "-timeline: live load length per use case")
 	calOut := flag.String("calibration-out", "aon-calibration.json", "-timeline: where to write the calibration artifact")
 	calIn := flag.String("calibration", "", "apply a calibration artifact (written by -timeline) to the simulated predictions")
+	widths := flag.String("widths", "", "-timeline: comma-separated worker-pool widths to record per-width calibration entries at (e.g. 1,2,4); empty records one width-agnostic entry per use case")
 	flag.Parse()
 
 	if *sampleInterval <= 0 {
@@ -92,9 +96,25 @@ func main() {
 		}
 	}
 
+	var widthList []int
+	if *widths != "" {
+		for _, part := range strings.Split(*widths, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "hwreport: bad -widths entry %q\n", part)
+				os.Exit(2)
+			}
+			widthList = append(widthList, n)
+		}
+	}
+
 	if *tlMode {
-		runTimeline(machine.ConfigID(*cfgName), *simMsgs, *conns, *size, *sampleInterval, *liveDur, *calOut, cal, *asJSON)
+		runTimeline(machine.ConfigID(*cfgName), *simMsgs, *conns, *size, *sampleInterval, *liveDur, *calOut, cal, *asJSON, widthList)
 		return
+	}
+	if len(widthList) > 0 {
+		fmt.Fprintln(os.Stderr, "hwreport: -widths requires -timeline")
+		os.Exit(2)
 	}
 
 	var rows []Row
@@ -199,19 +219,24 @@ func simulate(id machine.ConfigID, uc workload.UseCase, simMsgs int, cal *harnes
 }
 
 // runTimeline is the -timeline mode: one sampling session per use case
-// replayed against the model, producing both the comparison table and
-// the calibration artifact.
-func runTimeline(id machine.ConfigID, simMsgs, conns, size int, interval, dur time.Duration, calOut string, cal *harness.Calibration, asJSON bool) {
+// (and, with -widths, per pool width) replayed against the model,
+// producing both the comparison table and the calibration artifact.
+func runTimeline(id machine.ConfigID, simMsgs, conns, size int, interval, dur time.Duration, calOut string, cal *harness.Calibration, asJSON bool, widths []int) {
+	if len(widths) == 0 {
+		widths = []int{0} // one width-agnostic entry per use case
+	}
 	out := &harness.Calibration{Config: string(id), Entries: map[string]harness.CalibrationEntry{}}
 	var rows []Row
 	for _, uc := range []workload.UseCase{workload.FR, workload.CBR, workload.SV} {
-		row, entry, err := timelineCompare(id, uc, simMsgs, conns, size, interval, dur, cal)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hwreport:", err)
-			os.Exit(1)
+		for _, w := range widths {
+			row, entry, err := timelineCompare(id, uc, simMsgs, conns, size, interval, dur, cal, w)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hwreport:", err)
+				os.Exit(1)
+			}
+			out.Entries[harness.EntryKey(uc, w)] = entry
+			rows = append(rows, row)
 		}
-		out.Entries[uc.String()] = entry
-		rows = append(rows, row)
 	}
 	if err := out.WriteFile(calOut); err != nil {
 		fmt.Fprintln(os.Stderr, "hwreport:", err)
@@ -231,25 +256,35 @@ func runTimeline(id machine.ConfigID, simMsgs, conns, size int, interval, dur ti
 		return
 	}
 	fmt.Printf("hwreport: simulated %s prediction vs live sampling session (%v interval, %v load)\n", id, interval, dur)
-	fmt.Printf("%-4s %8s | %8s %8s %8s %8s | %s\n",
-		"uc", "samples", "sim-cpi", "live-cpi", "scale", "mpi-scl", "live source")
+	fmt.Printf("%-4s %5s %8s | %8s %8s %8s %8s | %10s %9s | %s\n",
+		"uc", "width", "samples", "sim-cpi", "live-cpi", "scale", "mpi-scl", "live-mps", "p50(us)", "live source")
 	for _, r := range rows {
-		e := out.Entries[r.UseCase]
-		fmt.Printf("%-4s %8d | %8.2f %8.2f %8.2f %8.2f | %s\n",
-			r.UseCase, e.Samples, e.SimCPI, e.LiveCPI, e.CPIScale, e.MPIScale, e.LiveSource)
+		key := r.UseCase
+		if r.Width > 0 {
+			key = fmt.Sprintf("%s@%d", r.UseCase, r.Width)
+		}
+		e := out.Entries[key]
+		width := "-"
+		if r.Width > 0 {
+			width = strconv.Itoa(r.Width)
+		}
+		fmt.Printf("%-4s %5s %8d | %8.2f %8.2f %8.2f %8.2f | %10.0f %9.0f | %s\n",
+			r.UseCase, width, e.Samples, e.SimCPI, e.LiveCPI, e.CPIScale, e.MPIScale,
+			e.LiveMsgsPerSec, e.LiveP50US, e.LiveSource)
 	}
 	fmt.Println("scale = live/sim ratio the artifact stores; 1.00 on model-sourced sessions.")
 }
 
-// timelineCompare runs one use case's sampling session and averages the
-// session's derived metrics into a calibration entry.
-func timelineCompare(id machine.ConfigID, uc workload.UseCase, simMsgs, conns, size int, interval, dur time.Duration, cal *harness.Calibration) (Row, harness.CalibrationEntry, error) {
+// timelineCompare runs one use case's sampling session at the given
+// pool width (0: the gateway default) and averages the session's derived
+// metrics into a calibration entry.
+func timelineCompare(id machine.ConfigID, uc workload.UseCase, simMsgs, conns, size int, interval, dur time.Duration, cal *harness.Calibration, width int) (Row, harness.CalibrationEntry, error) {
 	sim, err := simulate(id, uc, simMsgs, cal)
 	if err != nil {
 		return Row{}, harness.CalibrationEntry{}, err
 	}
 
-	srv, err := gateway.New(gateway.Config{UseCase: uc, Timeline: true, SampleInterval: interval})
+	srv, err := gateway.New(gateway.Config{UseCase: uc, Workers: width, Timeline: true, SampleInterval: interval})
 	if err != nil {
 		return Row{}, harness.CalibrationEntry{}, err
 	}
@@ -298,9 +333,13 @@ func timelineCompare(id machine.ConfigID, uc workload.UseCase, simMsgs, conns, s
 		cpi, mpi, brmpr = cpi/float64(n), mpi/float64(n), brmpr/float64(n)
 	}
 	entry := harness.NewCalibrationEntry(sim.Metrics, cpi, mpi, brmpr, n, source)
+	entry.Width = width
+	entry.LiveP50US = float64(rep.Latency.P50US)
+	entry.LiveMsgsPerSec = rep.MsgsPerSec
 
 	row := Row{
 		UseCase:      uc.String(),
+		Width:        width,
 		SimConfig:    string(id),
 		SimMsgsPerS:  sim.MsgPerSec,
 		Sim:          sim.Metrics,

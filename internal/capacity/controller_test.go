@@ -1,0 +1,244 @@
+package capacity
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testConfig() ControllerConfig {
+	return ControllerConfig{
+		TargetP99:     100 * time.Millisecond,
+		StaticWorkers: 4,
+		StaticBound:   16,
+		MaxWorkers:    8,
+		MaxInflight:   256,
+	}
+}
+
+// obsAt builds a healthy observation at the given offered load: demands
+// make a 4-worker pool saturate at 4/0.004 = 1000/s, and the goodput is
+// whatever the model itself would predict (so divergence never trips by
+// construction).
+func obsAt(now time.Time, offered float64, workers int) Observation {
+	d := StageDemands{Read: 0.0001, Parse: 0.001, Process: 0.003, Write: 0.0001}
+	m := GatewayModel(d, GatewayTopology{Workers: workers})
+	p := m.Predict(offered)
+	return Observation{
+		At:            now,
+		OfferedPerSec: offered,
+		GoodputPerSec: p.ThroughputPerSec,
+		P99:           time.Duration(p.P99US) * time.Microsecond,
+		Demands:       d,
+		Workers:       workers,
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	if _, err := NewController(ControllerConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	bad := testConfig()
+	bad.MaxWorkers = 2
+	bad.MinWorkers = 4
+	if _, err := NewController(bad); err == nil {
+		t.Fatal("MaxWorkers < MinWorkers accepted")
+	}
+	c, err := NewController(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Last(); d.Workers != 4 || d.Bound != 16 {
+		t.Fatalf("initial decision not static: %+v", d)
+	}
+}
+
+// TestControllerTracksLoad: a healthy observation produces a model-backed
+// decision whose bound respects the clamps and whose reason names the
+// admissible load.
+func TestControllerTracksLoad(t *testing.T) {
+	c, err := NewController(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	d := c.Decide(now, obsAt(now, 500, 4))
+	if d.Fallback {
+		t.Fatalf("healthy observation fell back: %+v", d)
+	}
+	if d.AdmissibleLoad <= 0 {
+		t.Fatalf("no admissible load computed: %+v", d)
+	}
+	if d.Bound < 5 || d.Bound > 256 {
+		t.Fatalf("bound %d outside clamps", d.Bound)
+	}
+	if !strings.Contains(d.Reason, "model") {
+		t.Fatalf("reason %q", d.Reason)
+	}
+	if got := c.Counters(); got.Decisions != 1 || got.Fallbacks != 0 {
+		t.Fatalf("counters %+v", got)
+	}
+}
+
+// TestControllerHysteresis: tiny load changes hold the settings, big
+// ones move them.
+func TestControllerHysteresis(t *testing.T) {
+	c, err := NewController(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	first := c.Decide(now, obsAt(now, 500, 4))
+	// A 2% load change stays under the 15% hysteresis: nothing moves.
+	second := c.Decide(now, obsAt(now, 510, first.Workers))
+	if second.Bound != first.Bound || second.Workers != first.Workers {
+		t.Fatalf("small change moved settings: %+v -> %+v", first, second)
+	}
+	// Doubling the offered load must move the width.
+	third := c.Decide(now, obsAt(now, 1400, second.Workers))
+	if third.Workers <= second.Workers {
+		t.Fatalf("doubled load did not widen the pool: %+v -> %+v", second, third)
+	}
+	cnt := c.Counters()
+	if cnt.WidthChanges == 0 {
+		t.Fatalf("width change not counted: %+v", cnt)
+	}
+}
+
+// TestControllerClamps: overload pins the width at MaxWorkers and an
+// unmeetable latency target pins the bound at the floor.
+func TestControllerClamps(t *testing.T) {
+	cfg := testConfig()
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	d := c.Decide(now, obsAt(now, 100000, 4))
+	if d.Workers != cfg.MaxWorkers {
+		t.Fatalf("overload width %d, want clamp %d", d.Workers, cfg.MaxWorkers)
+	}
+	if d.Bound > cfg.MaxInflight {
+		t.Fatalf("bound %d above ceiling %d", d.Bound, cfg.MaxInflight)
+	}
+
+	// Target tighter than the bare service time: bound floors.
+	tight := cfg
+	tight.TargetP99 = time.Microsecond
+	c2, err := NewController(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := c2.Decide(now, obsAt(now, 100, 4))
+	if d2.Bound != c2.Config().MinInflight {
+		t.Fatalf("unmeetable target bound %d, want floor %d", d2.Bound, c2.Config().MinInflight)
+	}
+}
+
+// TestControllerStaleFallback: an observation older than StaleAfter
+// falls hard back to the static flags.
+func TestControllerStaleFallback(t *testing.T) {
+	c, err := NewController(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	c.Decide(now, obsAt(now, 900, 4)) // move off static first
+	stale := obsAt(now.Add(-10*time.Second), 900, 4)
+	d := c.Decide(now, stale)
+	if !d.Fallback || d.Workers != 4 || d.Bound != 16 {
+		t.Fatalf("stale observation not a static fallback: %+v", d)
+	}
+	if !strings.Contains(d.Reason, "stale") {
+		t.Fatalf("reason %q", d.Reason)
+	}
+	if got := c.Counters(); got.Fallbacks != 1 {
+		t.Fatalf("fallbacks %d, want 1", got.Fallbacks)
+	}
+}
+
+// TestControllerDivergenceFallback: when measurement contradicts the
+// model by more than DivergeFrac, static flags rule.
+func TestControllerDivergenceFallback(t *testing.T) {
+	c, err := NewController(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	obs := obsAt(now, 500, 4)
+	obs.GoodputPerSec = obs.GoodputPerSec / 10 // reality far below prediction
+	d := c.Decide(now, obs)
+	if !d.Fallback || !strings.Contains(d.Reason, "diverged") {
+		t.Fatalf("divergence not detected: %+v", d)
+	}
+	if d.Workers != 4 || d.Bound != 16 {
+		t.Fatalf("divergence fallback not static: %+v", d)
+	}
+	if d.ThroughputErrPct < 100*c.Config().DivergeFrac {
+		t.Fatalf("err pct %v under threshold yet fell back", d.ThroughputErrPct)
+	}
+}
+
+// TestControllerHoldsOnMissingSignal: no demands or an idle window keep
+// the previous decision instead of flapping to static and back.
+func TestControllerHoldsOnMissingSignal(t *testing.T) {
+	c, err := NewController(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	moved := c.Decide(now, obsAt(now, 900, 4))
+
+	noDemand := Observation{At: now, OfferedPerSec: 100, GoodputPerSec: 100, Workers: moved.Workers}
+	d := c.Decide(now, noDemand)
+	if d.Workers != moved.Workers || d.Bound != moved.Bound || !strings.Contains(d.Reason, "holding") {
+		t.Fatalf("missing demands did not hold: %+v vs %+v", d, moved)
+	}
+
+	idle := obsAt(now, 0, moved.Workers)
+	idle.GoodputPerSec = 0
+	d = c.Decide(now, idle)
+	if d.Workers != moved.Workers || d.Bound != moved.Bound {
+		t.Fatalf("idle window did not hold: %+v vs %+v", d, moved)
+	}
+	if got := c.Counters(); got.Holds != 2 {
+		t.Fatalf("holds %d, want 2", got.Holds)
+	}
+}
+
+// TestControllerConcurrency exercises Decide/Last/Counters from racing
+// goroutines (meaningful under -race).
+func TestControllerConcurrency(t *testing.T) {
+	c, err := NewController(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			now := time.Now()
+			c.Decide(now, obsAt(now, float64(100+i*10), 4))
+		}
+		close(stop)
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.Last()
+				_ = c.Counters()
+			}
+		}
+	}()
+	wg.Wait()
+	if got := c.Counters(); got.Decisions != 200 {
+		t.Fatalf("decisions %d, want 200", got.Decisions)
+	}
+}

@@ -95,6 +95,30 @@ type Config struct {
 	// per-use-case per-stage histograms on /stats. 0 disables; negative
 	// is rejected by New.
 	TraceEvery int
+	// Adaptive turns on model-driven admission control: a periodic
+	// control loop feeds the analytic capacity model
+	// (internal/capacity) with windowed arrival-rate, latency, and
+	// stage-demand observations, and the model's decisions resize the
+	// worker pool and move the 503 admission bound at runtime — with
+	// hysteresis, floor/ceiling clamps, and a hard fallback to the
+	// static Workers/QueueDepth flags when observations go stale or the
+	// model diverges from measurement. Implies stage tracing (the
+	// model's service demands come from the stage tracer; TraceEvery
+	// defaults to 8 when unset).
+	Adaptive bool
+	// TargetP99 is the latency bound adaptive admission defends
+	// (default 100ms).
+	TargetP99 time.Duration
+	// AdaptInterval is the control-loop period (default 500ms).
+	AdaptInterval time.Duration
+	// MinWorkers/MaxWorkers clamp the adaptive pool width (defaults 1
+	// and 4x Workers).
+	MinWorkers int
+	MaxWorkers int
+	// MaxInflight is the adaptive admission bound's ceiling and its
+	// initial value — the loop starts wide open and lets the model pull
+	// the bound down (default 16x the static bound).
+	MaxInflight int64
 }
 
 // job is one framed request travelling from a connection reader to a
@@ -124,12 +148,26 @@ type Server struct {
 	statsView *counterView        // the /stats scrape's own measurement windows
 	tracer    *stageTracer        // nil: stage tracing off
 	timeline  *timelineState      // nil: no sampling session
+	capacity  *capacityLoop       // nil: adaptive admission off
 	Metrics   *Metrics
 
 	ln       net.Listener
 	jobs     chan *job
 	stopping atomic.Bool
 	inflight atomic.Int64 // jobs between admission and response write
+
+	// admitBound is the live admission limit: a connection reader sheds
+	// with 503 when inflight >= admitBound (0 means unbounded, static
+	// mode's queue-full select is then the only brake). The capacity
+	// control loop moves it at runtime.
+	admitBound atomic.Int64
+	poolSize   atomic.Int64 // live worker count (reads for gauges)
+
+	// poolMu serializes pool resizes; workerQuits holds one quit channel
+	// per live worker so shrink can retire exactly the newest ones.
+	poolMu      sync.Mutex
+	workerQuits []chan struct{}
+	nextWorker  int
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -169,6 +207,42 @@ func New(cfg Config) (*Server, error) {
 		// A sampling session is a consumer of the measurement layer.
 		cfg.Counters = true
 	}
+	if cfg.TargetP99 < 0 {
+		return nil, fmt.Errorf("gateway: target p99 must be positive, got %v", cfg.TargetP99)
+	}
+	if cfg.AdaptInterval < 0 {
+		return nil, fmt.Errorf("gateway: adapt interval must be positive, got %v", cfg.AdaptInterval)
+	}
+	if cfg.MinWorkers < 0 || cfg.MaxWorkers < 0 {
+		return nil, fmt.Errorf("gateway: worker clamps must be positive, got min=%d max=%d", cfg.MinWorkers, cfg.MaxWorkers)
+	}
+	if cfg.MaxInflight < 0 {
+		return nil, fmt.Errorf("gateway: max inflight must be positive, got %d", cfg.MaxInflight)
+	}
+	if cfg.Adaptive {
+		// The model's service demands come from the stage tracer.
+		if cfg.TraceEvery == 0 {
+			cfg.TraceEvery = 8
+		}
+		if cfg.TargetP99 == 0 {
+			cfg.TargetP99 = 100 * time.Millisecond
+		}
+		if cfg.AdaptInterval == 0 {
+			cfg.AdaptInterval = 500 * time.Millisecond
+		}
+		if cfg.MinWorkers == 0 {
+			cfg.MinWorkers = 1
+		}
+		if cfg.MaxWorkers == 0 {
+			cfg.MaxWorkers = 4 * cfg.Workers
+		}
+		if cfg.MaxWorkers < cfg.MinWorkers {
+			return nil, fmt.Errorf("gateway: max workers %d below min %d", cfg.MaxWorkers, cfg.MinWorkers)
+		}
+		if cfg.MaxInflight == 0 {
+			cfg.MaxInflight = 16 * int64(cfg.Workers+cfg.QueueDepth)
+		}
+	}
 	pipe, err := NewPipeline(cfg.UseCase, cfg.Expr, cfg.Schema)
 	if err != nil {
 		return nil, err
@@ -180,12 +254,24 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	queueCap := cfg.QueueDepth
+	if cfg.Adaptive {
+		// Adaptive mode brakes on the admission bound, not the channel:
+		// size the queue so the select-default never sheds below the
+		// bound's ceiling (clamped — slots are one pointer each).
+		if c := int(cfg.MaxInflight); c > queueCap {
+			queueCap = c
+		}
+		if queueCap > 1<<16 {
+			queueCap = 1 << 16
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		pipe:    pipe,
 		fwd:     fwd,
 		Metrics: NewMetrics(),
-		jobs:    make(chan *job, cfg.QueueDepth),
+		jobs:    make(chan *job, queueCap),
 		conns:   map[net.Conn]struct{}{},
 	}
 	if cfg.Counters {
@@ -195,6 +281,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TraceEvery > 0 {
 		s.tracer = newStageTracer(cfg.TraceEvery)
 	}
+	if cfg.Adaptive {
+		// Start wide open: the first model decision pulls the bound down
+		// to what the target p99 admits.
+		s.admitBound.Store(cfg.MaxInflight)
+		s.capacity = newCapacityLoop(s)
+	}
 	return s, nil
 }
 
@@ -203,8 +295,43 @@ func New(cfg Config) (*Server, error) {
 // banners and sweep headers.
 func (s *Server) CountersMode() (mode, notice string) { return s.counters.mode() }
 
-// Workers reports the pool size in effect.
-func (s *Server) Workers() int { return s.cfg.Workers }
+// Workers reports the pool size in effect (the live width once the
+// server started; the configured width before).
+func (s *Server) Workers() int {
+	if n := s.poolSize.Load(); n > 0 {
+		return int(n)
+	}
+	return s.cfg.Workers
+}
+
+// setPoolSize grows or shrinks the worker pool to n. Growth spawns
+// workers with monotonically increasing ids (so perf worker groups stay
+// distinct); shrink closes the newest quit channels — a retiring worker
+// finishes its current job first, so no message is dropped. No-op while
+// stopping: shutdown owns the pool from then on.
+func (s *Server) setPoolSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if s.stopping.Load() {
+		return
+	}
+	for len(s.workerQuits) < n {
+		quit := make(chan struct{})
+		s.workerQuits = append(s.workerQuits, quit)
+		s.workerWG.Add(1)
+		go s.worker(s.nextWorker, quit)
+		s.nextWorker++
+	}
+	for len(s.workerQuits) > n {
+		last := len(s.workerQuits) - 1
+		close(s.workerQuits[last])
+		s.workerQuits = s.workerQuits[:last]
+	}
+	s.poolSize.Store(int64(n))
+}
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves in background
 // goroutines until Shutdown.
@@ -214,10 +341,7 @@ func (s *Server) Start(addr string) error {
 		return err
 	}
 	s.ln = ln
-	for i := 0; i < s.cfg.Workers; i++ {
-		s.workerWG.Add(1)
-		go s.worker(i)
-	}
+	s.setPoolSize(s.cfg.Workers)
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
 	if s.cfg.Timeline {
@@ -225,6 +349,9 @@ func (s *Server) Start(addr string) error {
 			s.Shutdown(context.Background())
 			return err
 		}
+	}
+	if s.capacity != nil {
+		s.capacity.start()
 	}
 	return nil
 }
@@ -313,7 +440,22 @@ func (s *Server) handleConn(c net.Conn) {
 		// GET requests (the /stats endpoint) bypass the worker pool so
 		// observability survives overload — the whole point of /stats.
 		if bytes.HasPrefix(raw, []byte("GET ")) {
-			if !s.write(c, s.handleGet(raw)) {
+			var tProc time.Time
+			if traced {
+				tProc = time.Now()
+				s.tracer.observeControl(StageRead, tProc.Sub(tRead))
+			}
+			resp := s.handleGet(raw)
+			var tWrite time.Time
+			if traced {
+				tWrite = time.Now()
+				s.tracer.observeControl(StageProcess, tWrite.Sub(tProc))
+			}
+			ok := s.write(c, resp)
+			if traced {
+				s.tracer.observeControl(StageWrite, time.Since(tWrite))
+			}
+			if !ok {
 				return
 			}
 			continue
@@ -322,6 +464,16 @@ func (s *Server) handleConn(c net.Conn) {
 		if s.stopping.Load() {
 			s.write(c, formatError(503, "draining", true))
 			return
+		}
+		// The adaptive admission bound sheds before the queue does: when
+		// the model says more concurrency would blow the p99 target, the
+		// 503 happens here, at a bound the control loop moves at runtime.
+		if bound := s.admitBound.Load(); bound > 0 && s.inflight.Load() >= bound {
+			s.Metrics.Shed.Add(1)
+			if !s.write(c, formatError(503, "admission bound", false)) {
+				return
+			}
+			continue
 		}
 		j := &job{raw: raw, start: time.Now(), resp: make(chan response, 1)}
 		if traced {
@@ -361,7 +513,7 @@ func (s *Server) write(c net.Conn, b []byte) bool {
 	return err == nil
 }
 
-func (s *Server) worker(id int) {
+func (s *Server) worker(id int, quit chan struct{}) {
 	defer s.workerWG.Done()
 	if s.counters != nil {
 		// Pin the goroutine to its OS thread so the thread-scoped event
@@ -372,8 +524,16 @@ func (s *Server) worker(id int) {
 		wc := s.counters.registerWorker(id)
 		defer s.counters.unregisterWorker(wc)
 	}
-	for j := range s.jobs {
-		j.resp <- s.process(j)
+	for {
+		select {
+		case <-quit:
+			return
+		case j, ok := <-s.jobs:
+			if !ok {
+				return
+			}
+			j.resp <- s.process(j)
+		}
 	}
 }
 
@@ -381,14 +541,12 @@ func (s *Server) worker(id int) {
 // dispatch, response build.
 func (s *Server) process(j *job) response {
 	// Stage stamps bracket the worker's phases for traced requests; the
-	// ProcessDelay fault-injection stall sits between the queue and parse
-	// stamps so it inflates neither stage.
+	// ProcessDelay fault-injection stall runs inside the process stage,
+	// so an emulated slower device shows up as process demand — which is
+	// what the capacity model (and adaptive admission) must see.
 	var tDeq time.Time
 	if j.traced {
 		tDeq = time.Now()
-	}
-	if s.cfg.ProcessDelay > 0 {
-		time.Sleep(s.cfg.ProcessDelay)
 	}
 	var tWork time.Time
 	if j.traced {
@@ -410,6 +568,9 @@ func (s *Server) process(j *job) response {
 		tParsed = time.Now()
 	}
 	uc := s.pipe.SelectUseCase(req.Target)
+	if s.cfg.ProcessDelay > 0 {
+		time.Sleep(s.cfg.ProcessDelay)
+	}
 	out := s.pipe.Process(uc, req)
 	var tProcessed time.Time
 	if j.traced {
@@ -582,6 +743,9 @@ func (s *Server) Snapshot() Snapshot {
 		snap.Stages = s.tracer.snapshot()
 	}
 	snap.Timeline = s.timelineInfo()
+	if s.capacity != nil {
+		snap.Capacity = s.capacity.snapshot()
+	}
 	return snap
 }
 
@@ -623,6 +787,11 @@ func (s *Server) shutdown(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	s.connWG.Wait()
+	// Stop the control loop before closing the queue: it is the only
+	// other pool resizer, and setPoolSize must never race close(s.jobs).
+	if s.capacity != nil {
+		s.capacity.stop()
+	}
 	// Stop the sampling session before the workers: its last sample then
 	// still sees the full pool, and no sampler tick runs against a
 	// half-torn-down measurement layer.

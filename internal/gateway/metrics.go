@@ -141,6 +141,10 @@ type Snapshot struct {
 	// Timeline summarizes the sampling session (nil when none runs); the
 	// full ring is served by GET /timeline.
 	Timeline *TimelineInfo `json:"timeline,omitempty"`
+	// Capacity is the adaptive-admission control view (nil when
+	// Config.Adaptive is off): the model's latest observation, prediction,
+	// decision, and model-vs-measured error.
+	Capacity *CapacitySnapshot `json:"capacity,omitempty"`
 }
 
 // Snapshot reads every counter.

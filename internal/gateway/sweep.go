@@ -7,7 +7,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/workload"
+	"repro/internal/capacity"
 )
 
 // SweepResult is one row of the scaling study: the gateway run with n
@@ -184,15 +184,100 @@ func FormatStageTable(rows []SweepResult) string {
 	return b.String()
 }
 
-// stageUseCaseOrder lists the snapshot's use cases in pipeline-enum
-// order so the table is stable across runs.
+// stageUseCaseOrder lists the snapshot's slots in pipeline-enum order
+// (the control-plane GET row last) so the table is stable across runs.
 func stageUseCaseOrder(s StageSnapshot) []string {
 	var out []string
-	for uci := 0; uci < numTraceUseCases; uci++ {
-		name := workload.UseCase(uci).String()
+	for slot := 0; slot < numTraceSlots; slot++ {
+		name := traceSlotName(slot)
 		if _, ok := s[name]; ok {
 			out = append(out, name)
 		}
 	}
 	return out
+}
+
+// sweepStageDemands rebuilds capacity.StageDemands from a sweep row's
+// stage snapshot: per-stage means aggregated across the use-case rows
+// (the control-plane GET row excluded), weighted by trace count.
+func sweepStageDemands(s StageSnapshot) capacity.StageDemands {
+	mean := func(stage string) float64 {
+		var n uint64
+		var sum float64
+		for uc, stages := range s {
+			if uc == "GET" {
+				continue
+			}
+			if h, ok := stages[stage]; ok {
+				sum += h.MeanUS * float64(h.Count)
+				n += h.Count
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n) / 1e6
+	}
+	return capacity.StageDemands{
+		Read:    mean("read"),
+		Parse:   mean("parse"),
+		Process: mean("process"),
+		Forward: mean("forward"),
+		Write:   mean("write"),
+	}
+}
+
+// FormatModelTable renders the analytic capacity model next to the
+// measured sweep — per width, the model is seeded with that row's own
+// traced stage demands and solved at the row's offered load, so each
+// line carries the model's throughput and p99 error at that load point
+// (the live half of the paper's Figures 5/6 against the analytic half).
+// Empty when no row carries stage traces.
+func FormatModelTable(rows []SweepResult, targetP99 time.Duration) string {
+	any := false
+	for _, r := range rows {
+		if len(r.Server.Stages) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %7s %9s %9s %7s %12s\n",
+		"GOMAXPROCS", "offered/s", "meas/s", "pred/s", "err%", "meas-p99", "pred-p99", "err%", "admissible/s")
+	for _, r := range rows {
+		d := sweepStageDemands(r.Server.Stages)
+		if d.WorkerDemand() <= 0 {
+			fmt.Fprintf(&b, "%-10d %10s (no stage traces)\n", r.Procs, "-")
+			continue
+		}
+		m := capacity.GatewayModel(d, capacity.GatewayTopology{Workers: r.Procs})
+		offered := r.Report.MsgsPerSec
+		if r.Report.DurationSec > 0 {
+			offered = float64(r.Report.Sent) / r.Report.DurationSec
+		}
+		p := m.Predict(offered)
+		tputErr := pctErr(p.ThroughputPerSec, r.Report.MsgsPerSec)
+		p99Err := pctErr(p.P99US, float64(r.Report.Latency.P99US))
+		adm := m.MaxLoadForP99(float64(targetP99.Microseconds()))
+		fmt.Fprintf(&b, "%-10d %10.0f %10.0f %10.0f %7.1f %9d %9.0f %7.1f %12.0f\n",
+			r.Procs, offered, r.Report.MsgsPerSec, p.ThroughputPerSec, tputErr,
+			r.Report.Latency.P99US, p.P99US, p99Err, adm)
+	}
+	fmt.Fprintf(&b, "model seeded from each row's traced stage demands; admissible/s = highest load with predicted p99 <= %v\n", targetP99)
+	return b.String()
+}
+
+// pctErr is |pred-meas| as a percentage of meas (0 when unmeasured).
+func pctErr(pred, meas float64) float64 {
+	if meas <= 0 {
+		return 0
+	}
+	e := 100 * (pred - meas) / meas
+	if e < 0 {
+		return -e
+	}
+	return e
 }

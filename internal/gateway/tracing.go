@@ -46,6 +46,24 @@ func (s Stage) String() string {
 // numTraceUseCases covers FR/CBR/SV plus the DPI/AUTH extensions.
 const numTraceUseCases = 5
 
+// traceSlotControl is the extra tracer slot for control-plane GETs
+// (/stats, /timeline): they bypass the worker pool, but untraced they
+// would silently skew nothing while still costing read/process/write
+// time on the connection readers — so they get their own row ("GET")
+// in the stage breakdown instead.
+const traceSlotControl = numTraceUseCases
+
+// numTraceSlots is every use case plus the control-plane slot.
+const numTraceSlots = numTraceUseCases + 1
+
+// traceSlotName labels a tracer slot for snapshots and tables.
+func traceSlotName(slot int) string {
+	if slot == traceSlotControl {
+		return "GET"
+	}
+	return workload.UseCase(slot).String()
+}
+
 // stageTracer aggregates cheap monotonic stamps into per-use-case,
 // per-stage latency histograms. Requests are sampled 1-in-every so the
 // stamps stay off most messages' paths (BenchmarkGatewayTracing guards
@@ -54,7 +72,7 @@ const numTraceUseCases = 5
 type stageTracer struct {
 	every uint32
 	seq   atomic.Uint32
-	hists [numTraceUseCases][numStages]lhist.Hist
+	hists [numTraceSlots][numStages]lhist.Hist
 }
 
 // newStageTracer samples one request in every (minimum 1 = every
@@ -79,17 +97,34 @@ func (t *stageTracer) observe(uc workload.UseCase, st Stage, d time.Duration) {
 	t.hists[uc][st].Observe(d)
 }
 
+// observeControl records one stage duration for a traced control-plane
+// GET (the /stats path never reaches a worker, so only read/process/
+// write carry signal).
+func (t *stageTracer) observeControl(st Stage, d time.Duration) {
+	if st < 0 || st >= numStages {
+		return
+	}
+	t.hists[traceSlotControl][st].Observe(d)
+}
+
+// stageCounts reads one slot+stage histogram's raw counts — the
+// capacity control loop's windowing primitive for service demands.
+func (t *stageTracer) stageCounts(slot int, st Stage) lhist.Counts {
+	return t.hists[slot][st].Counts()
+}
+
 // StageSnapshot is the /stats "stages" section: per use case, per stage
 // percentile reads of the sampled trace population.
 type StageSnapshot map[string]map[string]lhist.Snapshot
 
-// snapshot renders every use case that traced at least one request.
+// snapshot renders every slot (use case or control plane) that traced
+// at least one request.
 func (t *stageTracer) snapshot() StageSnapshot {
 	out := StageSnapshot{}
-	for uci := 0; uci < numTraceUseCases; uci++ {
+	for slot := 0; slot < numTraceSlots; slot++ {
 		var stages map[string]lhist.Snapshot
 		for st := Stage(0); st < numStages; st++ {
-			s := t.hists[uci][st].Snapshot()
+			s := t.hists[slot][st].Snapshot()
 			if s.Count == 0 {
 				continue
 			}
@@ -99,7 +134,7 @@ func (t *stageTracer) snapshot() StageSnapshot {
 			stages[st.String()] = s
 		}
 		if stages != nil {
-			out[workload.UseCase(uci).String()] = stages
+			out[traceSlotName(slot)] = stages
 		}
 	}
 	return out

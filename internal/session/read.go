@@ -1,0 +1,105 @@
+package session
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVRow is one parsed line of a session artifact — the flattened schema
+// WriteCSV emits. Worker detail stays flattened (the CSV never carried
+// it); the fields here are the ones replay consumers (cmd/aoncap's
+// predicted-vs-measured tables) need.
+type CSVRow struct {
+	TMS          int64
+	WindowSec    float64
+	Messages     uint64
+	MsgsPerSec   float64
+	BytesIn      uint64
+	Shed         uint64
+	LatencyP50US uint64
+	LatencyP99US uint64
+	CPI          float64
+	CacheMPI     float64
+	BrMPR        float64
+	Source       string
+	Workers      int
+	Goroutines   int
+	GCCPUPct     float64
+}
+
+// OfferedPerSec is the row's arrival rate including shed messages.
+func (r CSVRow) OfferedPerSec() float64 {
+	if r.WindowSec <= 0 {
+		return r.MsgsPerSec
+	}
+	return r.MsgsPerSec + float64(r.Shed)/r.WindowSec
+}
+
+// ReadCSV parses a session artifact written by WriteCSV. Columns are
+// located by header name, so the reader tolerates schema growth (new
+// trailing columns) and survives column reordering.
+func ReadCSV(r io.Reader) ([]CSVRow, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("session: csv header: %w", err)
+	}
+	col := map[string]int{}
+	for i, name := range header {
+		col[name] = i
+	}
+	for _, required := range []string{"t_ms", "window_sec", "messages", "msgs_per_sec"} {
+		if _, ok := col[required]; !ok {
+			return nil, fmt.Errorf("session: csv missing column %q", required)
+		}
+	}
+	get := func(rec []string, name string) string {
+		i, ok := col[name]
+		if !ok || i >= len(rec) {
+			return ""
+		}
+		return rec[i]
+	}
+	pf := func(s string) float64 { v, _ := strconv.ParseFloat(s, 64); return v }
+	pu := func(s string) uint64 { v, _ := strconv.ParseUint(s, 10, 64); return v }
+	pi := func(s string) int { v, _ := strconv.Atoi(s); return v }
+
+	var out []CSVRow
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("session: csv row %d: %w", len(out)+2, err)
+		}
+		tms, err := strconv.ParseInt(get(rec, "t_ms"), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("session: csv row %d: bad t_ms %q", len(out)+2, get(rec, "t_ms"))
+		}
+		out = append(out, CSVRow{
+			TMS:          tms,
+			WindowSec:    pf(get(rec, "window_sec")),
+			Messages:     pu(get(rec, "messages")),
+			MsgsPerSec:   pf(get(rec, "msgs_per_sec")),
+			BytesIn:      pu(get(rec, "bytes_in")),
+			Shed:         pu(get(rec, "shed")),
+			LatencyP50US: pu(get(rec, "latency_p50_us")),
+			LatencyP99US: pu(get(rec, "latency_p99_us")),
+			CPI:          pf(get(rec, "cpi")),
+			CacheMPI:     pf(get(rec, "cache_mpi_pct")),
+			BrMPR:        pf(get(rec, "br_mpr_pct")),
+			Source:       get(rec, "derived_source"),
+			Workers:      pi(get(rec, "workers")),
+			Goroutines:   pi(get(rec, "goroutines")),
+			GCCPUPct:     pf(get(rec, "gc_cpu_pct")),
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("session: csv has no sample rows")
+	}
+	return out, nil
+}

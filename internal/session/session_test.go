@@ -182,3 +182,52 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatalf("row 2 missing derived source: %q", lines[2])
 	}
 }
+
+// TestReadCSVRoundTrip pins the reader against the writer: a dumped
+// session parses back with the replay-relevant fields intact, and the
+// offered-load helper folds shed messages back into the arrival rate.
+func TestReadCSVRoundTrip(t *testing.T) {
+	samples := []Sample{
+		{TMS: 1000, WindowSec: 0.5, Messages: 100, MsgsPerSec: 200, Shed: 50,
+			LatencyP50US: 800, LatencyP99US: 4000, CPI: 1.5, DerivedSource: "hw",
+			Workers:    []WorkerSample{{Worker: 0, CPI: 1.2}, {Worker: 1, CPI: 1.9}},
+			Goroutines: 12, GCCPUPct: 0.5},
+		{TMS: 1500, WindowSec: 0.5, Messages: 120, MsgsPerSec: 240, DerivedSource: "model"},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d want 2", len(rows))
+	}
+	r := rows[0]
+	if r.TMS != 1000 || r.Messages != 100 || r.MsgsPerSec != 200 || r.Shed != 50 {
+		t.Fatalf("row 0 counters: %+v", r)
+	}
+	if r.LatencyP50US != 800 || r.LatencyP99US != 4000 || r.CPI != 1.5 || r.Source != "hw" {
+		t.Fatalf("row 0 metrics: %+v", r)
+	}
+	if r.Workers != 2 || r.Goroutines != 12 {
+		t.Fatalf("row 0 gauges: %+v", r)
+	}
+	// 200 completed/s + 50 shed over 0.5s = 300 offered/s.
+	if got := r.OfferedPerSec(); got != 300 {
+		t.Fatalf("offered=%v want 300", got)
+	}
+	if rows[1].Source != "model" {
+		t.Fatalf("row 1: %+v", rows[1])
+	}
+
+	// Header-only and missing-column inputs are rejected.
+	if _, err := ReadCSV(strings.NewReader("t_ms,window_sec,messages,msgs_per_sec\n")); err == nil {
+		t.Fatal("empty session accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Fatal("foreign csv accepted")
+	}
+}
