@@ -11,19 +11,26 @@
 //	aonback -addr :9081 -name order                 # order endpoint
 //	aonback -addr :9082 -name error                 # error endpoint
 //	aonback -addr :9081 -resp-size 2048 -delay 2ms  # heavier reverse path
+//	aonback -addr :9081 -fail-first 50              # fault injection
+//	curl http://localhost:9081/stats                # live counters JSON
 //
 // -resp-size pads the JSON ack (reverse-path wire cost); -delay emulates
-// backend service time. SIGINT/SIGTERM prints the final request/byte
-// counters as JSON on stdout.
+// backend service time; -fail-first N drops the first N requests without
+// responding (connection closed — exercises the gateway's retry and
+// health-probe paths). GET /stats serves the live counters as JSON —
+// request/drop/byte totals, the fault-injection state, and the service
+// latency histogram — which is how cmd/aonfleet scrapes backends into
+// the merged cross-node session. SIGINT/SIGTERM prints the same snapshot
+// on stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
 	"repro/internal/upstream"
 )
@@ -33,27 +40,30 @@ func main() {
 	name := flag.String("name", "order", "endpoint role tag: order or error")
 	respSize := flag.Int("resp-size", 128, "approximate response body bytes")
 	delay := flag.Duration("delay", 0, "per-request service delay")
+	failFirst := flag.Int("fail-first", 0, "drop the first N requests without responding (fault injection)")
 	flag.Parse()
 
+	if *failFirst < 0 {
+		fmt.Fprintf(os.Stderr, "aonback: -fail-first must be >= 0, got %d\n", *failFirst)
+		os.Exit(2)
+	}
 	srv, err := upstream.StartBackend(*addr, upstream.BackendConfig{
 		Name:      *name,
 		RespBytes: *respSize,
 		Delay:     *delay,
+		FailFirst: *failFirst,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aonback:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "aonback: %s endpoint listening on %s (resp-size=%d delay=%s)\n",
-		*name, srv.Addr(), *respSize, *delay)
+	fmt.Fprintf(os.Stderr, "aonback: %s endpoint listening on %s (resp-size=%d delay=%s fail-first=%d), stats on GET /stats\n",
+		*name, srv.Addr(), *respSize, *delay, *failFirst)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	srv.Close()
-	fmt.Printf(`{"name":%q,"requests":%d,"dropped":%d,"bytes_in":%d,"bytes_out":%d,"uptime":%q}`+"\n",
-		*name, srv.Requests.Load(), srv.Failed.Load(),
-		srv.BytesIn.Load(), srv.BytesOut.Load(), time.Since(startTime).Round(time.Millisecond))
+	b, _ := json.MarshalIndent(srv.Stats(), "", "  ")
+	fmt.Println(string(b))
 }
-
-var startTime = time.Now()

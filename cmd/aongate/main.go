@@ -31,7 +31,12 @@
 // throughput deltas, latency percentiles, runtime and pool gauges into a
 // bounded ring served on GET /timeline?last=N. SIGUSR1 dumps the ring as
 // CSV to -timeline-out without stopping the server; shutdown writes the
-// final ring there too. -trace-every N samples one request in N through
+// final ring there too. With -timeline-flush-interval (implies -timeline),
+// -timeline-out becomes an append-only CSV instead: new samples are
+// appended incrementally each interval (header written once, exactly-once
+// rows), so a crash loses at most one interval and long sessions are not
+// bounded by the ring — SIGUSR1 then forces an immediate flush rather
+// than a whole-ring dump. -trace-every N samples one request in N through
 // per-stage monotonic stamps, served as the /stats "stages" section.
 //
 // With -adaptive, an analytic M/M/c capacity controller
@@ -60,6 +65,7 @@ import (
 
 	"repro/internal/gateway"
 	"repro/internal/hwcount"
+	"repro/internal/session"
 	"repro/internal/upstream"
 	"repro/internal/workload"
 )
@@ -86,6 +92,7 @@ func main() {
 	sampleCap := flag.Int("sample-cap", 0, "timeline ring capacity in samples (0 = 600)")
 	traceEvery := flag.Int("trace-every", 0, "trace request stages for 1 in every N requests (0 = off)")
 	timelineOut := flag.String("timeline-out", "aon-timeline.csv", "CSV path for timeline dumps (SIGUSR1 and shutdown)")
+	timelineFlush := flag.Duration("timeline-flush-interval", 0, "append new timeline samples to -timeline-out every interval (implies -timeline; crash-safe, header written once; 0 = whole-ring dumps on SIGUSR1/shutdown only)")
 	adaptive := flag.Bool("adaptive", false, "run the capacity controller: the M/M/c model resizes the worker pool and moves the 503 admission bound from live observations (implies -trace-every)")
 	targetP99 := flag.Duration("target-p99", 0, "adaptive mode: p99 latency bound the controller sizes for (0 = default 100ms)")
 	adaptInterval := flag.Duration("adapt-interval", 0, "adaptive mode: control-loop period (0 = default 500ms)")
@@ -107,10 +114,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "aongate: -trace-every must be >= 0, got %d\n", *traceEvery)
 		os.Exit(2)
 	}
-	if (*hwCounters || *timeline) && !hwcount.Supported() {
+	if *timelineFlush < 0 {
+		fmt.Fprintf(os.Stderr, "aongate: -timeline-flush-interval must be >= 0, got %v\n", *timelineFlush)
+		os.Exit(2)
+	}
+	if (*hwCounters || *timeline || *timelineFlush > 0) && !hwcount.Supported() {
 		fmt.Fprintln(os.Stderr, "aongate: -counters/-timeline need perf events, which this OS does not support")
 		os.Exit(2)
 	}
+
+	// Incremental flush mode: -timeline-out becomes an append-only CSV
+	// that survives a crash — each interval writes only the samples the
+	// ring gained since the last flush, and the header is written once
+	// (only when the file starts empty, so restarts keep appending).
+	var flushFile *os.File
+	var flushDst *session.Appender
+	if *timelineFlush > 0 {
+		f, err := os.OpenFile(*timelineOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aongate: -timeline-out:", err)
+			os.Exit(1)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aongate: -timeline-out:", err)
+			os.Exit(1)
+		}
+		flushFile = f
+		flushDst = session.NewAppender(f, st.Size() == 0)
+		defer flushFile.Close()
+	}
+
 	srv, err := gateway.New(gateway.Config{
 		UseCase:      uc,
 		Workers:      *workers,
@@ -127,17 +161,19 @@ func main() {
 			MinIdlePerBackend: *upMinIdle,
 			MaxConnLifetime:   *upLifetime,
 		},
-		Counters:       *hwCounters,
-		Timeline:       *timeline,
-		SampleInterval: *sampleInterval,
-		SampleCapacity: *sampleCap,
-		TraceEvery:     *traceEvery,
-		Adaptive:       *adaptive,
-		TargetP99:      *targetP99,
-		AdaptInterval:  *adaptInterval,
-		MinWorkers:     *minWorkers,
-		MaxWorkers:     *maxWorkers,
-		MaxInflight:    *maxInflight,
+		Counters:              *hwCounters,
+		Timeline:              *timeline,
+		SampleInterval:        *sampleInterval,
+		SampleCapacity:        *sampleCap,
+		TimelineFlush:         flushDst,
+		TimelineFlushInterval: *timelineFlush,
+		TraceEvery:            *traceEvery,
+		Adaptive:              *adaptive,
+		TargetP99:             *targetP99,
+		AdaptInterval:         *adaptInterval,
+		MinWorkers:            *minWorkers,
+		MaxWorkers:            *maxWorkers,
+		MaxInflight:           *maxInflight,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aongate:", err)
@@ -161,7 +197,11 @@ func main() {
 		fmt.Fprintln(os.Stderr)
 	}
 
-	if *timeline {
+	switch {
+	case flushDst != nil:
+		fmt.Fprintf(os.Stderr, "aongate: sampling session every %v (GET /timeline), appending to %s every %v\n",
+			*sampleInterval, *timelineOut, *timelineFlush)
+	case *timeline:
 		fmt.Fprintf(os.Stderr, "aongate: sampling session every %v (GET /timeline, SIGUSR1 dumps CSV to %s)\n",
 			*sampleInterval, *timelineOut)
 	}
@@ -176,8 +216,18 @@ func main() {
 	for running := true; running; {
 		select {
 		case <-usr1:
-			// On-demand dump: snapshot the ring to CSV, keep serving.
-			dumpTimeline(srv, *timelineOut)
+			if flushDst != nil {
+				// Flush mode: push pending samples to the append file now
+				// instead of re-dumping the whole ring over it.
+				if n, err := srv.FlushTimeline(); err != nil {
+					fmt.Fprintln(os.Stderr, "aongate: timeline flush:", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "aongate: flushed %d timeline samples to %s\n", n, *timelineOut)
+				}
+			} else {
+				// On-demand dump: snapshot the ring to CSV, keep serving.
+				dumpTimeline(srv, *timelineOut)
+			}
 		case <-sig:
 			running = false
 		}
@@ -189,9 +239,10 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "aongate: drain incomplete:", err)
 	}
-	if *timeline {
+	if *timeline && flushDst == nil {
 		// The ring outlives the stopped sampler, so the shutdown dump
-		// includes the session's final samples.
+		// includes the session's final samples. In flush mode the final
+		// samples were already appended by the shutdown-path flush.
 		dumpTimeline(srv, *timelineOut)
 	}
 	b, _ := json.MarshalIndent(srv.Snapshot(), "", "  ")

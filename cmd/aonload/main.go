@@ -61,6 +61,7 @@ func main() {
 	size := flag.Int("size", workload.MessageBytes, "approximate POST body bytes")
 	invalidEvery := flag.Int("invalid-every", 0, "make every Nth message schema-invalid (0 = never)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	outPath := flag.String("out", "", "also write the final JSON report to this file (cmd/aonfleet reads it back)")
 	sweep := flag.String("sweep", "", "comma-separated GOMAXPROCS widths for a self-hosted scaling run (e.g. 1,2,4)")
 	order := flag.String("order", "", "sweep mode: order backend address for the swept gateway")
 	errAddr := flag.String("error", "", "sweep mode: error backend address for the swept gateway")
@@ -160,6 +161,7 @@ func main() {
 		}
 		b, _ := json.MarshalIndent(rows, "", "  ")
 		fmt.Println(string(b))
+		writeOut(*outPath, b)
 		return
 	}
 
@@ -170,6 +172,20 @@ func main() {
 	}
 	b, _ := json.MarshalIndent(rep, "", "  ")
 	fmt.Println(string(b))
+	writeOut(*outPath, b)
+}
+
+// writeOut mirrors the stdout report into -out when set, so callers
+// that capture logs (cmd/aonfleet) still get a clean machine-readable
+// artifact.
+func writeOut(path string, b []byte) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "aonload: -out:", err)
+		os.Exit(1)
+	}
 }
 
 // RunAndReport runs one load generation pass and summarizes to stderr.

@@ -1,0 +1,374 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/workload"
+)
+
+// Coordinator owns one fleet campaign: launch (or attach to) the
+// topology, keep a cross-node sampling session running, drive the sweep,
+// and tear everything down with exit-status collection.
+type Coordinator struct {
+	cfg   *Config
+	nodes []*Node
+
+	merger  *Merger
+	writer  *SessionWriter
+	scraper *scraper
+
+	scrapeStop chan struct{}
+	scrapeDone chan struct{}
+
+	points []PointReport
+
+	// Logf receives progress lines (default os.Stderr).
+	Logf func(format string, args ...any)
+}
+
+// New validates and expands the topology. Nothing is launched yet.
+func New(cfg *Config) (*Coordinator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nodes, err := cfg.expand()
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		cfg:   cfg,
+		nodes: nodes,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "aonfleet: "+format+"\n", args...)
+		},
+	}, nil
+}
+
+// Nodes exposes the expanded topology (ordered backends, gateways, load).
+func (c *Coordinator) Nodes() []*Node { return c.nodes }
+
+// Merger exposes the live merged session (nil before Start).
+func (c *Coordinator) Merger() *Merger { return c.merger }
+
+// byRole returns the expanded nodes with the given role, in config order.
+func (c *Coordinator) byRole(role string) []*Node {
+	var out []*Node
+	for _, n := range c.nodes {
+		if n.Role == role {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// scrapable lists the nodes with a stats surface.
+func (c *Coordinator) scrapable() []*Node {
+	var out []*Node
+	for _, n := range c.nodes {
+		if n.Role != RoleLoad {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// dialable rewrites a listen address ("" or ":8080" host parts) into one
+// a client can connect to on this machine.
+func dialable(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// Start brings the fleet up in dependency order — backends, then
+// gateways — with a readiness probe against each node's /stats before
+// the next tier launches, and starts the cross-node scrape loop feeding
+// the merged on-disk session.
+func (c *Coordinator) Start() error {
+	if err := os.MkdirAll(c.cfg.OutDir, 0o755); err != nil {
+		return fmt.Errorf("fleet: out dir: %w", err)
+	}
+	writer, err := NewSessionWriter(c.cfg.OutDir)
+	if err != nil {
+		return err
+	}
+	c.writer = writer
+	c.merger = NewMerger(writer.Write)
+	c.scraper = newScraper(c.merger, c.cfg.ScrapeInterval()*4)
+
+	for _, n := range c.byRole(RoleBackend) {
+		args := []string{"-addr", n.Addr, "-name", n.Endpoint}
+		if err := c.bringUp(n, args); err != nil {
+			return err
+		}
+	}
+	orderAddr, errorAddr := c.backendAddrs()
+	for _, n := range c.byRole(RoleGateway) {
+		args := []string{"-addr", n.Addr, "-timeline"}
+		if orderAddr != "" {
+			args = append(args, "-order", orderAddr)
+		}
+		if errorAddr != "" {
+			args = append(args, "-error", errorAddr)
+		}
+		if err := c.bringUp(n, args); err != nil {
+			return err
+		}
+	}
+
+	c.scrapeStop = make(chan struct{})
+	c.scrapeDone = make(chan struct{})
+	go c.scrapeLoop()
+	return nil
+}
+
+// backendAddrs picks the first order and first error backend for the
+// gateways' forwarding flags.
+func (c *Coordinator) backendAddrs() (order, errAddr string) {
+	for _, n := range c.byRole(RoleBackend) {
+		switch {
+		case n.Endpoint == "order" && order == "":
+			order = dialable(n.Addr)
+		case n.Endpoint == "error" && errAddr == "":
+			errAddr = dialable(n.Addr)
+		}
+	}
+	return order, errAddr
+}
+
+// bringUp launches (unless attached) and readiness-probes one node.
+func (c *Coordinator) bringUp(n *Node, args []string) error {
+	if n.Attach {
+		c.Logf("%s: attaching to %s", n.Key(), n.Addr)
+	} else {
+		if err := n.launch(c.cfg.BinDir, c.cfg.OutDir, args); err != nil {
+			return err
+		}
+		c.Logf("%s: launched on %s (pid %d)", n.Key(), n.Addr, n.cmd.Process.Pid)
+	}
+	return c.waitReady(n)
+}
+
+// waitReady polls the node's /stats until it answers 200, the node's
+// process dies (fail fast, with the log tail as diagnosis), or the
+// configured timeout lapses.
+func (c *Coordinator) waitReady(n *Node) error {
+	deadline := time.Now().Add(c.cfg.ReadyTimeout())
+	addr := dialable(n.Addr)
+	for {
+		if n.exited() {
+			return fmt.Errorf("fleet: %s: exited during startup: %v\n--- log tail ---\n%s",
+				n.Key(), n.ExitErr, n.logTail(2048))
+		}
+		var probe json.RawMessage
+		if err := c.scraper.getJSON(addr, "/stats", &probe); err == nil {
+			c.Logf("%s: ready", n.Key())
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet: %s: not ready on %s after %v\n--- log tail ---\n%s",
+				n.Key(), addr, c.cfg.ReadyTimeout(), n.logTail(2048))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// scrapeLoop samples every stats-bearing node on the configured
+// interval until stopped.
+func (c *Coordinator) scrapeLoop() {
+	defer close(c.scrapeDone)
+	t := time.NewTicker(c.cfg.ScrapeInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-c.scrapeStop:
+			return
+		case <-t.C:
+			c.scrapeOnce()
+		}
+	}
+}
+
+// scrapeOnce sweeps all nodes now — the loop's tick body, also called
+// synchronously at sweep-point boundaries so windows close on fresh
+// data. Scrape errors are logged, not fatal (liveness is owned by the
+// readiness and exit checks).
+func (c *Coordinator) scrapeOnce() {
+	for _, err := range c.scraper.scrapeAll(c.scrapable()) {
+		c.Logf("scrape: %v", err)
+	}
+}
+
+// RunSweep drives one load point per configured connection count and
+// cuts a per-node window from the merged session around each.
+func (c *Coordinator) RunSweep() error {
+	conns := c.cfg.Sweep.Conns
+	if len(conns) == 0 {
+		conns = []int{1}
+	}
+	gateways := c.byRole(RoleGateway)
+	target := dialable(gateways[0].Addr)
+	for _, cc := range conns {
+		c.scrapeOnce()
+		mark := c.merger.Len()
+		c.Logf("sweep: %d conns, %d messages against %s", cc, c.cfg.Sweep.Messages, target)
+		rep, err := c.runLoad(target, cc)
+		if err != nil {
+			return fmt.Errorf("fleet: load point %d conns: %w", cc, err)
+		}
+		// Let each node's own sampler tick past the load before the
+		// window closes, so a short point still carries its trailing
+		// samples (a gateway timeline samples on its own clock).
+		time.Sleep(c.cfg.ScrapeInterval())
+		c.scrapeOnce()
+		snap, err := c.scraper.gatewaySnapshot(gateways[0])
+		if err != nil {
+			c.Logf("sweep: gateway snapshot: %v", err)
+		}
+		window := c.merger.Slice(mark, c.merger.Len())
+		c.points = append(c.points, buildPoint(cc, rep, window, snap))
+		if err := c.merger.SinkErr(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runLoad executes one load point: through a launched aonload process
+// when the topology declares a load node (its -out report file is read
+// back), in-process otherwise — attach-mode fleets need no local
+// binaries at all.
+func (c *Coordinator) runLoad(target string, conns int) (gateway.Report, error) {
+	var loadNode *Node
+	for _, n := range c.byRole(RoleLoad) {
+		if !n.Attach {
+			loadNode = n
+			break
+		}
+	}
+	sw := c.cfg.Sweep
+	if loadNode == nil {
+		uc, err := workload.ParseUseCase(sw.UseCase)
+		if err != nil {
+			return gateway.Report{}, err
+		}
+		return gateway.RunLoad(gateway.LoadConfig{
+			Addr:     target,
+			UseCase:  uc,
+			Conns:    conns,
+			Messages: sw.Messages,
+			Size:     sw.SizeBytes,
+		})
+	}
+	outPath := filepath.Join(c.cfg.OutDir,
+		fmt.Sprintf("load-%s-c%d.json", sanitize(loadNode.ID), conns))
+	args := []string{
+		"-addr", target,
+		"-usecase", sw.UseCase,
+		"-conns", strconv.Itoa(conns),
+		"-n", strconv.Itoa(sw.Messages),
+		"-out", outPath,
+	}
+	if sw.SizeBytes > 0 {
+		args = append(args, "-size", strconv.Itoa(sw.SizeBytes))
+	}
+	args = append(args, loadNode.Flags...)
+	logPath := filepath.Join(c.cfg.OutDir, sanitize(loadNode.Role+"-"+loadNode.ID)+".log")
+	lf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return gateway.Report{}, err
+	}
+	defer lf.Close()
+	loadNode.logPath = logPath
+	cmd := exec.Command(loadNode.binary(c.cfg.BinDir), args...)
+	cmd.Stdout = lf
+	cmd.Stderr = lf
+	if err := cmd.Run(); err != nil {
+		return gateway.Report{}, fmt.Errorf("%s: %v\n--- log tail ---\n%s",
+			loadNode.Key(), err, loadNode.logTail(2048))
+	}
+	b, err := os.ReadFile(outPath)
+	if err != nil {
+		return gateway.Report{}, fmt.Errorf("%s: report: %w", loadNode.Key(), err)
+	}
+	var rep gateway.Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return gateway.Report{}, fmt.Errorf("%s: report %s: %w", loadNode.Key(), outPath, err)
+	}
+	return rep, nil
+}
+
+// Finish stops the scrape loop, takes a final sample, renders every
+// artifact (per-node CSVs, the merged CSV, the combined report), and
+// returns the report text.
+func (c *Coordinator) Finish() (string, error) {
+	if c.scrapeStop != nil {
+		close(c.scrapeStop)
+		<-c.scrapeDone
+		c.scrapeStop = nil
+	}
+	c.scrapeOnce()
+	if err := c.merger.SinkErr(); err != nil {
+		return "", err
+	}
+	if err := WriteCSVs(c.cfg.OutDir, c.merger); err != nil {
+		return "", err
+	}
+	report := FormatFleetReport(c.points, c.merger)
+	path := filepath.Join(c.cfg.OutDir, ReportName)
+	if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
+		return "", fmt.Errorf("fleet: report: %w", err)
+	}
+	c.Logf("artifacts in %s: %s, %s, %s, per-node CSVs and logs",
+		c.cfg.OutDir, JSONLName, MergedCSVName, ReportName)
+	return report, nil
+}
+
+// Shutdown fans out the stop in reverse dependency order — gateways
+// first (they drain in-flight forwards), then backends — and reports
+// every non-clean exit as one error. Attached nodes are left running.
+// Safe to call on a partially started fleet and after Finish.
+func (c *Coordinator) Shutdown() error {
+	if c.scrapeStop != nil {
+		close(c.scrapeStop)
+		<-c.scrapeDone
+		c.scrapeStop = nil
+	}
+	order := append(c.byRole(RoleGateway), c.byRole(RoleBackend)...)
+	for _, n := range order {
+		n.stop(c.cfg.Grace())
+	}
+	if c.writer != nil {
+		if err := c.writer.Close(); err != nil {
+			c.Logf("session writer: %v", err)
+		}
+		c.writer = nil
+	}
+	var failed []string
+	for _, n := range order {
+		if n.ExitErr != nil {
+			failed = append(failed, fmt.Sprintf("%s: %v", n.Key(), n.ExitErr))
+		}
+	}
+	if len(failed) > 0 {
+		sort.Strings(failed)
+		return fmt.Errorf("fleet: %d node(s) exited uncleanly:\n  %s",
+			len(failed), strings.Join(failed, "\n  "))
+	}
+	return nil
+}

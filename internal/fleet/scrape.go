@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/session"
+	"repro/internal/upstream"
+)
+
+// scraper pulls each node's self-reported observability over HTTP and
+// feeds it into the merger. Gateways serve a full sampling session on
+// GET /timeline (preferred — native 100ms samples with counter views);
+// when a gateway runs without -timeline, or for backends (which only
+// expose cumulative /stats), the scraper synthesizes windowed samples
+// from consecutive snapshot deltas.
+type scraper struct {
+	client *http.Client
+	merger *Merger
+
+	mu   sync.Mutex
+	prev map[string]prevCounters // node key → last cumulative view
+}
+
+// prevCounters is the previous cumulative observation for delta-based
+// sample synthesis.
+type prevCounters struct {
+	tms      int64
+	messages uint64
+	bytesIn  uint64
+	shed     uint64
+}
+
+func newScraper(merger *Merger, timeout time.Duration) *scraper {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &scraper{
+		client: &http.Client{Timeout: timeout},
+		merger: merger,
+		prev:   map[string]prevCounters{},
+	}
+}
+
+// getJSON fetches http://<addr><path> and decodes the body into v.
+// Non-200 statuses are errors carrying the body's first line.
+func (sc *scraper) getJSON(addr, path string, v any) error {
+	resp, err := sc.client.Get("http://" + addr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := string(body)
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, msg)
+	}
+	return json.Unmarshal(body, v)
+}
+
+// scrapeNode pulls one node's current view into the merger. Load nodes
+// have no stats surface and are skipped.
+func (sc *scraper) scrapeNode(n *Node) error {
+	switch n.Role {
+	case RoleGateway:
+		return sc.scrapeGateway(n)
+	case RoleBackend:
+		return sc.scrapeBackend(n)
+	default:
+		return nil
+	}
+}
+
+// scrapeAll sweeps every node once, collecting per-node errors keyed for
+// diagnostics. A node that fails to answer one tick is not fatal — it
+// may be mid-start or mid-stop; the campaign-level readiness and exit
+// checks own liveness.
+func (sc *scraper) scrapeAll(nodes []*Node) []error {
+	var errs []error
+	for _, n := range nodes {
+		if err := sc.scrapeNode(n); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", n.Key(), err))
+		}
+	}
+	return errs
+}
+
+// scrapeGateway prefers the gateway's own sampling session: every kept
+// /timeline sample lands in the merger, dedup suppressing re-reads of
+// the ring. Without a timeline it falls back to /stats deltas.
+func (sc *scraper) scrapeGateway(n *Node) error {
+	var tr gateway.TimelineResponse
+	if err := sc.getJSON(n.Addr, "/timeline", &tr); err == nil {
+		for _, s := range tr.Samples {
+			sc.merger.Add(n.Key(), n.Role, s)
+		}
+		return nil
+	}
+	// No sampling session on this gateway — synthesize from /stats.
+	var snap gateway.Snapshot
+	if err := sc.getJSON(n.Addr, "/stats", &snap); err != nil {
+		return err
+	}
+	// Uptime is the gateway's own monotonic axis: immune to wall-clock
+	// skew and steps, which is exactly what cross-node alignment needs.
+	tms := int64(snap.UptimeSec * 1000)
+	s := session.Sample{
+		TMS:          tms,
+		LatencyP50US: snap.Latency.P50US,
+		LatencyP99US: snap.Latency.P99US,
+	}
+	if c := snap.Counters; c != nil {
+		s.CPI = c.Derived.CPI
+		s.CacheMPI = c.Derived.CacheMPI
+		s.BrMPR = c.Derived.BrMPR
+		s.DerivedSource = c.DerivedSource
+		s.Goroutines = c.Runtime.Goroutines
+	}
+	sc.addDelta(n, s, snap.Messages, snap.BytesIn, snap.Shed)
+	return nil
+}
+
+// scrapeBackend turns the backend's cumulative /stats into windowed
+// samples: requests become Messages deltas, the latency histogram
+// (cumulative, like the gateway's) supplies the percentiles.
+func (sc *scraper) scrapeBackend(n *Node) error {
+	var bs upstream.BackendStats
+	if err := sc.getJSON(n.Addr, "/stats", &bs); err != nil {
+		return err
+	}
+	s := session.Sample{
+		TMS:          int64(bs.UptimeSec * 1000),
+		LatencyP50US: bs.Latency.P50US,
+		LatencyP99US: bs.Latency.P99US,
+	}
+	sc.addDelta(n, s, bs.Requests, bs.BytesIn, bs.Dropped)
+	return nil
+}
+
+// addDelta completes a synthesized sample with windowed deltas against
+// the node's previous cumulative view and feeds it to the merger. The
+// first observation primes the window state and lands as a zero-window
+// sample — it pins the node's epoch in the merged session.
+func (sc *scraper) addDelta(n *Node, s session.Sample, messages, bytesIn, shed uint64) {
+	sc.mu.Lock()
+	key := n.Key()
+	if p, ok := sc.prev[key]; ok && s.TMS > p.tms {
+		s.WindowSec = float64(s.TMS-p.tms) / 1000
+		if messages >= p.messages {
+			s.Messages = messages - p.messages
+		}
+		if bytesIn >= p.bytesIn {
+			s.BytesIn = bytesIn - p.bytesIn
+		}
+		if shed >= p.shed {
+			s.Shed = shed - p.shed
+		}
+		if s.WindowSec > 0 {
+			s.MsgsPerSec = float64(s.Messages) / s.WindowSec
+		}
+	}
+	sc.prev[key] = prevCounters{tms: s.TMS, messages: messages, bytesIn: bytesIn, shed: shed}
+	sc.mu.Unlock()
+	sc.merger.Add(key, n.Role, s)
+}
+
+// gatewaySnapshot fetches a gateway's full /stats view — the report
+// builder reads throughput, latency, and the capacity model-error
+// section from it at each sweep point.
+func (sc *scraper) gatewaySnapshot(n *Node) (*gateway.Snapshot, error) {
+	var snap gateway.Snapshot
+	if err := sc.getJSON(n.Addr, "/stats", &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/httpmsg"
 	"repro/internal/perf/trace"
+	"repro/internal/session"
 	"repro/internal/upstream"
 	"repro/internal/workload"
 	"repro/internal/xsd"
@@ -89,6 +90,16 @@ type Config struct {
 	// SampleCapacity bounds the timeline ring; 0 means 600 samples (one
 	// minute at the default interval). Negative is rejected by New.
 	SampleCapacity int
+	// TimelineFlush, with TimelineFlushInterval > 0, persists the
+	// sampling session continuously: a background flusher appends every
+	// newly recorded sample to the appender each interval, so the
+	// timeline survives a crash or restart instead of living only in the
+	// in-memory ring. Implies Timeline.
+	TimelineFlush *session.Appender
+	// TimelineFlushInterval is the persistence period; 0 disables the
+	// flusher (the PR 4 dump-on-signal/shutdown behavior). Negative is
+	// rejected by New.
+	TimelineFlushInterval time.Duration
 	// TraceEvery enables per-request stage tracing, sampling one request
 	// in every TraceEvery through monotonic stamps around
 	// read→queue→parse→process→forward→write, aggregated into
@@ -202,6 +213,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.TraceEvery < 0 {
 		return nil, fmt.Errorf("gateway: trace sampling ratio must be positive, got %d", cfg.TraceEvery)
+	}
+	if cfg.TimelineFlushInterval < 0 {
+		return nil, fmt.Errorf("gateway: timeline flush interval must be positive, got %v", cfg.TimelineFlushInterval)
+	}
+	if cfg.TimelineFlush != nil && cfg.TimelineFlushInterval > 0 {
+		// Continuous persistence needs a session to persist.
+		cfg.Timeline = true
 	}
 	if cfg.Timeline {
 		// A sampling session is a consumer of the measurement layer.

@@ -6,6 +6,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/runstats"
@@ -17,6 +18,11 @@ import (
 // never steal the /stats scrape's deltas), and the previous cumulative
 // gateway counters for per-window throughput deltas. The prev fields are
 // touched only from the sampler goroutine.
+//
+// When a flush target is configured, a second goroutine drains the ring
+// to it incrementally: flushMark is the lifetime-total watermark of the
+// last persisted sample, guarded by flushMu because shutdown's final
+// flush and SIGUSR1's on-demand flush run on other goroutines.
 type timelineState struct {
 	sampler *session.Sampler
 	view    *counterView
@@ -24,6 +30,12 @@ type timelineState struct {
 	prevMsgs  uint64
 	prevBytes uint64
 	prevShed  uint64
+
+	flushMu   sync.Mutex
+	flushDst  *session.Appender
+	flushMark uint64
+	flushStop chan struct{}
+	flushDone chan struct{}
 }
 
 // startTimeline brings the sampling session up; called from Start after
@@ -39,7 +51,51 @@ func (s *Server) startTimeline() error {
 	}
 	tl.sampler = sampler
 	s.timeline = tl
+	if s.cfg.TimelineFlush != nil && s.cfg.TimelineFlushInterval > 0 {
+		tl.flushDst = s.cfg.TimelineFlush
+		tl.flushStop = make(chan struct{})
+		tl.flushDone = make(chan struct{})
+		go s.flushLoop(tl)
+	}
 	return nil
+}
+
+// flushLoop appends newly recorded samples to the flush target every
+// TimelineFlushInterval — the crash-safe persistence path: whatever the
+// ring has seen is on disk within one flush interval, so a session
+// survives its process (the fleet coordinator's requirement for nodes
+// that restart mid-campaign).
+func (s *Server) flushLoop(tl *timelineState) {
+	defer close(tl.flushDone)
+	t := time.NewTicker(s.cfg.TimelineFlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-tl.flushStop:
+			return
+		case <-t.C:
+			s.FlushTimeline()
+		}
+	}
+}
+
+// FlushTimeline appends every sample recorded since the previous flush
+// to the configured flush target, returning how many samples it wrote.
+// No-op (0, nil) without a flush target. Safe to call concurrently with
+// the periodic flusher — aongate's SIGUSR1 handler calls it on demand.
+func (s *Server) FlushTimeline() (int, error) {
+	tl := s.timeline
+	if tl == nil || tl.flushDst == nil {
+		return 0, nil
+	}
+	tl.flushMu.Lock()
+	defer tl.flushMu.Unlock()
+	samples, mark := tl.sampler.Since(tl.flushMark)
+	if err := tl.flushDst.Append(samples); err != nil {
+		return 0, err
+	}
+	tl.flushMark = mark
+	return len(samples), nil
 }
 
 // takeSample flattens one fixed-interval observation: gateway metric
@@ -94,10 +150,21 @@ func (s *Server) takeSample(tl *timelineState) session.Sample {
 	return smp
 }
 
-// closeTimeline stops the sampling session and joins its goroutine.
+// closeTimeline stops the sampling session and joins its goroutines.
+// The flusher stops first, then the sampler, then one final flush — so
+// the persisted artifact carries the session's last samples.
 func (s *Server) closeTimeline() {
-	if s.timeline != nil {
-		s.timeline.sampler.Close()
+	tl := s.timeline
+	if tl == nil {
+		return
+	}
+	if tl.flushStop != nil {
+		close(tl.flushStop)
+		<-tl.flushDone
+	}
+	tl.sampler.Close()
+	if tl.flushDst != nil {
+		s.FlushTimeline()
 	}
 }
 

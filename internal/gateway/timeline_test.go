@@ -1,15 +1,18 @@
 package gateway
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/session"
 	"repro/internal/workload"
 )
 
@@ -338,5 +341,101 @@ func TestObservabilityConfigValidation(t *testing.T) {
 	srv := startServer(t, Config{Workers: 1, Timeline: true, SampleInterval: 10 * time.Millisecond})
 	if mode, _ := srv.CountersMode(); mode == "off" {
 		t.Fatal("Timeline did not imply Counters")
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the flush goroutine writes
+// while the test reads progress.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestTimelineFlush pins continuous persistence: with a flush target
+// configured, samples land on the artifact incrementally while the
+// server is still serving (crash safety — no dump-at-exit required),
+// each sample exactly once, and shutdown appends the ring's tail. The
+// artifact must round-trip through session.ReadCSV with strictly
+// increasing timestamps (duplicate-free).
+func TestTimelineFlush(t *testing.T) {
+	t.Setenv(ForceRuntimeOnlyEnv, "1") // deterministic in either world
+	var buf syncBuffer
+	srv := startServer(t, Config{
+		Workers:               2,
+		UseCase:               workload.CBR,
+		SampleInterval:        5 * time.Millisecond,
+		TimelineFlush:         session.NewAppender(&buf, true),
+		TimelineFlushInterval: 10 * time.Millisecond,
+	})
+	if srv.timeline == nil {
+		t.Fatal("TimelineFlush did not imply Timeline")
+	}
+	addr := srv.Addr().String()
+	if _, err := RunLoad(LoadConfig{Addr: addr, UseCase: workload.CBR, Conns: 2, Messages: 40}); err != nil {
+		t.Fatal(err)
+	}
+	// Incremental: rows appear while the server is live.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := strings.Count(buf.String(), "\n"); n >= 3 { // header + 2 rows
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no incremental flush after 2s; artifact:\n%s", buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// On-demand flush (the SIGUSR1 path) interleaves safely with the
+	// periodic flusher and never duplicates samples.
+	if _, err := srv.FlushTimeline(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	total := srv.timeline.sampler.Total()
+	rows, err := session.ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("flushed artifact unreadable: %v\nartifact:\n%s", err, buf.String())
+	}
+	if uint64(len(rows)) != total {
+		t.Fatalf("artifact has %d rows, session recorded %d samples", len(rows), total)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TMS < rows[i-1].TMS {
+			t.Fatalf("rows out of order at %d: %d then %d", i, rows[i-1].TMS, rows[i].TMS)
+		}
+	}
+	if strings.Count(buf.String(), "t_ms,") != 1 {
+		t.Fatalf("header written more than once:\n%s", buf.String())
+	}
+}
+
+// TestTimelineFlushValidation: a negative flush interval is rejected;
+// a flush target without an interval stays inert (no session implied).
+func TestTimelineFlushValidation(t *testing.T) {
+	if _, err := New(Config{TimelineFlushInterval: -time.Second}); err == nil {
+		t.Fatal("negative flush interval accepted")
+	}
+	srv, err := New(Config{TimelineFlush: session.NewAppender(&bytes.Buffer{}, true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.cfg.Timeline {
+		t.Fatal("flush target without interval implied a session")
 	}
 }

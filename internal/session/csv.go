@@ -21,6 +21,32 @@ var csvHeader = []string{
 	"upstream_idle_conns", "upstream_healthy",
 }
 
+// CSVHeader returns a copy of the session artifact's column names, for
+// writers that extend the schema with leading columns (the fleet's
+// merged cross-node CSV prefixes node identity) while staying readable
+// by ReadCSV, which locates columns by name.
+func CSVHeader() []string {
+	out := make([]string, len(csvHeader))
+	copy(out, csvHeader)
+	return out
+}
+
+// CSVRecord flattens one sample into the csvHeader column order.
+func CSVRecord(s Sample) []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	cpiMin, cpiMax := workerCPIBounds(s.Workers)
+	return []string{
+		strconv.FormatInt(s.TMS, 10), f(s.WindowSec),
+		u(s.Messages), f(s.MsgsPerSec), u(s.BytesIn), u(s.Shed),
+		u(s.LatencyP50US), u(s.LatencyP99US),
+		f(s.CPI), f(s.CacheMPI), f(s.BrMPR), s.DerivedSource,
+		strconv.Itoa(len(s.Workers)), f(cpiMin), f(cpiMax),
+		strconv.Itoa(s.Goroutines), f(s.GCCPUPct), f(s.SchedLatP99US),
+		strconv.Itoa(s.UpstreamIdle), strconv.Itoa(s.UpstreamHealthy),
+	}
+}
+
 // WriteCSV dumps samples (chronological) in the fixed schema — the
 // session artifact aongate writes on SIGUSR1/shutdown and CI uploads.
 func WriteCSV(w io.Writer, samples []Sample) error {
@@ -28,20 +54,8 @@ func WriteCSV(w io.Writer, samples []Sample) error {
 	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
-	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
 	for _, s := range samples {
-		cpiMin, cpiMax := workerCPIBounds(s.Workers)
-		row := []string{
-			strconv.FormatInt(s.TMS, 10), f(s.WindowSec),
-			u(s.Messages), f(s.MsgsPerSec), u(s.BytesIn), u(s.Shed),
-			u(s.LatencyP50US), u(s.LatencyP99US),
-			f(s.CPI), f(s.CacheMPI), f(s.BrMPR), s.DerivedSource,
-			strconv.Itoa(len(s.Workers)), f(cpiMin), f(cpiMax),
-			strconv.Itoa(s.Goroutines), f(s.GCCPUPct), f(s.SchedLatP99US),
-			strconv.Itoa(s.UpstreamIdle), strconv.Itoa(s.UpstreamHealthy),
-		}
-		if err := cw.Write(row); err != nil {
+		if err := cw.Write(CSVRecord(s)); err != nil {
 			return err
 		}
 	}
@@ -63,3 +77,48 @@ func workerCPIBounds(ws []WorkerSample) (min, max float64) {
 	}
 	return min, max
 }
+
+// Appender writes the session CSV schema incrementally: the header goes
+// out exactly once (suppressed when the writer was handed an already-
+// populated file), then each Append flushes its rows through to the
+// underlying writer before returning — the crash-safety contract the
+// gateway's periodic timeline flush and the fleet coordinator rely on:
+// whatever Append has returned from is on disk, whatever comes later is
+// a clean appended row, never a torn rewrite.
+type Appender struct {
+	cw        *csv.Writer
+	headerDue bool
+	rows      int
+}
+
+// NewAppender wraps w. writeHeader=false resumes an existing artifact
+// (the file already carries a header from a previous run).
+func NewAppender(w io.Writer, writeHeader bool) *Appender {
+	return &Appender{cw: csv.NewWriter(w), headerDue: writeHeader}
+}
+
+// Append writes the samples and flushes. Safe to call with no samples
+// (it still emits a due header, making even an idle session's artifact
+// well-formed).
+func (a *Appender) Append(samples []Sample) error {
+	if a.headerDue {
+		if err := a.cw.Write(csvHeader); err != nil {
+			return err
+		}
+		a.headerDue = false
+	}
+	for _, s := range samples {
+		if err := a.cw.Write(CSVRecord(s)); err != nil {
+			return err
+		}
+		a.rows++
+	}
+	a.cw.Flush()
+	if err := a.cw.Error(); err != nil {
+		return fmt.Errorf("session: csv append: %w", err)
+	}
+	return nil
+}
+
+// Rows reports how many sample rows this appender has written.
+func (a *Appender) Rows() int { return a.rows }

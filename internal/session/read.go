@@ -56,17 +56,6 @@ func ReadCSV(r io.Reader) ([]CSVRow, error) {
 			return nil, fmt.Errorf("session: csv missing column %q", required)
 		}
 	}
-	get := func(rec []string, name string) string {
-		i, ok := col[name]
-		if !ok || i >= len(rec) {
-			return ""
-		}
-		return rec[i]
-	}
-	pf := func(s string) float64 { v, _ := strconv.ParseFloat(s, 64); return v }
-	pu := func(s string) uint64 { v, _ := strconv.ParseUint(s, 10, 64); return v }
-	pi := func(s string) int { v, _ := strconv.Atoi(s); return v }
-
 	var out []CSVRow
 	for {
 		rec, err := cr.Read()
@@ -76,30 +65,112 @@ func ReadCSV(r io.Reader) ([]CSVRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("session: csv row %d: %w", len(out)+2, err)
 		}
-		tms, err := strconv.ParseInt(get(rec, "t_ms"), 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("session: csv row %d: bad t_ms %q", len(out)+2, get(rec, "t_ms"))
-		}
-		out = append(out, CSVRow{
+		// A field parser per row: absent columns (older schema) and empty
+		// cells stay zero — that's schema tolerance — but a non-empty cell
+		// that doesn't parse is corruption, reported as a row-level error
+		// naming the column rather than silently read as zero.
+		p := fieldParser{rec: rec, col: col}
+		tms := p.i64("t_ms")
+		row := CSVRow{
 			TMS:          tms,
-			WindowSec:    pf(get(rec, "window_sec")),
-			Messages:     pu(get(rec, "messages")),
-			MsgsPerSec:   pf(get(rec, "msgs_per_sec")),
-			BytesIn:      pu(get(rec, "bytes_in")),
-			Shed:         pu(get(rec, "shed")),
-			LatencyP50US: pu(get(rec, "latency_p50_us")),
-			LatencyP99US: pu(get(rec, "latency_p99_us")),
-			CPI:          pf(get(rec, "cpi")),
-			CacheMPI:     pf(get(rec, "cache_mpi_pct")),
-			BrMPR:        pf(get(rec, "br_mpr_pct")),
-			Source:       get(rec, "derived_source"),
-			Workers:      pi(get(rec, "workers")),
-			Goroutines:   pi(get(rec, "goroutines")),
-			GCCPUPct:     pf(get(rec, "gc_cpu_pct")),
-		})
+			WindowSec:    p.f("window_sec"),
+			Messages:     p.u("messages"),
+			MsgsPerSec:   p.f("msgs_per_sec"),
+			BytesIn:      p.u("bytes_in"),
+			Shed:         p.u("shed"),
+			LatencyP50US: p.u("latency_p50_us"),
+			LatencyP99US: p.u("latency_p99_us"),
+			CPI:          p.f("cpi"),
+			CacheMPI:     p.f("cache_mpi_pct"),
+			BrMPR:        p.f("br_mpr_pct"),
+			Source:       p.s("derived_source"),
+			Workers:      p.i("workers"),
+			Goroutines:   p.i("goroutines"),
+			GCCPUPct:     p.f("gc_cpu_pct"),
+		}
+		if p.get(rec, "t_ms") == "" {
+			p.fail("t_ms", "") // t_ms is mandatory: an empty cell is corruption too
+		}
+		if p.err != nil {
+			return nil, fmt.Errorf("session: csv row %d: %w", len(out)+2, p.err)
+		}
+		out = append(out, row)
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("session: csv has no sample rows")
 	}
 	return out, nil
+}
+
+// fieldParser reads one record's cells by column name, accumulating the
+// first malformed-cell error. Missing columns and empty cells parse as
+// zero values (schema tolerance); non-empty garbage is an error.
+type fieldParser struct {
+	rec []string
+	col map[string]int
+	err error
+}
+
+func (p *fieldParser) get(rec []string, name string) string {
+	i, ok := p.col[name]
+	if !ok || i >= len(rec) {
+		return ""
+	}
+	return rec[i]
+}
+
+func (p *fieldParser) fail(name, raw string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("bad %s %q", name, raw)
+	}
+}
+
+func (p *fieldParser) s(name string) string { return p.get(p.rec, name) }
+
+func (p *fieldParser) f(name string) float64 {
+	raw := p.get(p.rec, name)
+	if raw == "" {
+		return 0
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		p.fail(name, raw)
+	}
+	return v
+}
+
+func (p *fieldParser) u(name string) uint64 {
+	raw := p.get(p.rec, name)
+	if raw == "" {
+		return 0
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		p.fail(name, raw)
+	}
+	return v
+}
+
+func (p *fieldParser) i(name string) int {
+	raw := p.get(p.rec, name)
+	if raw == "" {
+		return 0
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		p.fail(name, raw)
+	}
+	return v
+}
+
+func (p *fieldParser) i64(name string) int64 {
+	raw := p.get(p.rec, name)
+	if raw == "" {
+		return 0
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		p.fail(name, raw)
+	}
+	return v
 }

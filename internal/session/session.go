@@ -119,6 +119,30 @@ func (r *Ring) Last(n int) []Sample {
 	return out
 }
 
+// Since returns the samples whose lifetime index is >= afterTotal (i.e.
+// everything added after a previous call reported newTotal == afterTotal)
+// plus the ring's current lifetime total. Samples that have already been
+// evicted are silently gone — the caller polled too slowly for the ring
+// capacity. This is the incremental-flush primitive: a persister tracks
+// the returned total as its watermark and never re-reads a sample.
+func (r *Ring) Since(afterTotal uint64) ([]Sample, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if afterTotal > r.total {
+		// Watermark from a different (restarted) ring: start over.
+		afterTotal = 0
+	}
+	n := r.total - afterTotal
+	if kept := uint64(len(r.buf)); n > kept {
+		n = kept
+	}
+	out := make([]Sample, 0, n)
+	for i := r.total - n; i < r.total; i++ {
+		out = append(out, r.buf[i%uint64(cap(r.buf))])
+	}
+	return out, r.total
+}
+
 // Total is the lifetime sample count (including evicted ones).
 func (r *Ring) Total() uint64 {
 	r.mu.Lock()
@@ -216,6 +240,10 @@ func (s *Sampler) Interval() time.Duration { return s.interval }
 
 // Last returns the most recent n samples in chronological order.
 func (s *Sampler) Last(n int) []Sample { return s.ring.Last(n) }
+
+// Since returns the samples recorded after a previous Since call reported
+// newTotal == afterTotal, plus the new watermark. See Ring.Since.
+func (s *Sampler) Since(afterTotal uint64) ([]Sample, uint64) { return s.ring.Since(afterTotal) }
 
 // Total is the lifetime sample count.
 func (s *Sampler) Total() uint64 { return s.ring.Total() }

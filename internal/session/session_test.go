@@ -231,3 +231,118 @@ func TestReadCSVRoundTrip(t *testing.T) {
 		t.Fatal("foreign csv accepted")
 	}
 }
+
+// TestReadCSVCorruption pins the corrupt-cell contract: a non-empty cell
+// that doesn't parse is a row-level error naming the column — never a
+// silent zero — while empty cells and absent columns still read as
+// zeros (schema tolerance).
+func TestReadCSVCorruption(t *testing.T) {
+	header := "t_ms,window_sec,messages,msgs_per_sec,cpi\n"
+	cases := []struct {
+		name, row, wantErr string
+	}{
+		{"garbage float", "1000,0.1,5,50,not-a-number\n", "cpi"},
+		{"garbage uint", "1000,0.1,x,50,1.5\n", "messages"},
+		{"garbage t_ms", "zzz,0.1,5,50,1.5\n", "t_ms"},
+		{"empty t_ms", ",0.1,5,50,1.5\n", "t_ms"},
+	}
+	for _, tc := range cases {
+		_, err := ReadCSV(strings.NewReader(header + tc.row))
+		if err == nil {
+			t.Fatalf("%s: corrupt row accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: error %q does not name column %q", tc.name, err, tc.wantErr)
+		}
+		if !strings.Contains(err.Error(), "row 2") {
+			t.Fatalf("%s: error %q does not locate the row", tc.name, err)
+		}
+	}
+	// Empty non-mandatory cells stay zeros.
+	rows, err := ReadCSV(strings.NewReader(header + "1000,,5,50,\n"))
+	if err != nil {
+		t.Fatalf("empty cells rejected: %v", err)
+	}
+	if rows[0].WindowSec != 0 || rows[0].CPI != 0 || rows[0].Messages != 5 {
+		t.Fatalf("row: %+v", rows[0])
+	}
+	// Extra leading columns (the fleet's merged CSV) are tolerated: the
+	// reader locates columns by name.
+	merged := "node,role,rel_ms," + header + "gw0,gateway,120,1000,0.1,5,50,1.5\n"
+	rows, err = ReadCSV(strings.NewReader(merged))
+	if err != nil {
+		t.Fatalf("merged fleet csv rejected: %v", err)
+	}
+	if rows[0].TMS != 1000 || rows[0].CPI != 1.5 {
+		t.Fatalf("merged row: %+v", rows[0])
+	}
+}
+
+// TestRingSince pins the incremental-flush primitive: successive Since
+// calls hand out each sample exactly once, and a watermark that outran
+// the ring (slow poller) silently skips evicted samples.
+func TestRingSince(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		r.Add(Sample{TMS: int64(i)})
+	}
+	got, wm := r.Since(0)
+	if len(got) != 3 || wm != 3 || got[0].TMS != 0 || got[2].TMS != 2 {
+		t.Fatalf("Since(0)=%+v wm=%d", got, wm)
+	}
+	if got, wm = r.Since(wm); len(got) != 0 || wm != 3 {
+		t.Fatalf("idle Since=%+v wm=%d want empty,3", got, wm)
+	}
+	// Overrun: 6 more samples into a capacity-4 ring — only the kept 4
+	// come back, oldest two are gone.
+	for i := 3; i < 9; i++ {
+		r.Add(Sample{TMS: int64(i)})
+	}
+	got, wm = r.Since(wm)
+	if len(got) != 4 || wm != 9 || got[0].TMS != 5 || got[3].TMS != 8 {
+		t.Fatalf("overrun Since=%+v wm=%d", got, wm)
+	}
+	// A stale watermark from a restarted ring restarts from scratch.
+	if got, _ = r.Since(1 << 40); len(got) != 4 {
+		t.Fatalf("stale watermark returned %d samples, want 4", len(got))
+	}
+}
+
+// TestAppender pins the incremental CSV contract: one header, rows
+// flushed per Append, and resume mode (writeHeader=false) emitting rows
+// only — together they append into one well-formed artifact.
+func TestAppender(t *testing.T) {
+	var buf bytes.Buffer
+	a := NewAppender(&buf, true)
+	if err := a.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append([]Sample{{TMS: 1}, {TMS: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append([]Sample{{TMS: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Rows() != 3 {
+		t.Fatalf("rows=%d want 3", a.Rows())
+	}
+	// Resume into the same buffer: no second header.
+	b := NewAppender(&buf, false)
+	if err := b.Append([]Sample{{TMS: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("artifact has %d lines, want header + 4 rows:\n%s", len(lines), buf.String())
+	}
+	if strings.Count(buf.String(), "t_ms,") != 1 {
+		t.Fatalf("header repeated:\n%s", buf.String())
+	}
+	rows, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[3].TMS != 4 {
+		t.Fatalf("round trip rows: %+v", rows)
+	}
+}

@@ -3,6 +3,7 @@ package upstream
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/lhist"
 )
 
 // BackendConfig parameterizes a BackendServer.
@@ -35,17 +38,25 @@ type BackendConfig struct {
 // BackendServer is the minimal order/error endpoint of the paper's
 // end-to-end FR topology: it accepts keep-alive HTTP/1.1 POSTs and
 // answers 200 with a configurable-size JSON ack after a configurable
-// delay. cmd/aonback wraps it; tests and benchmarks embed it so a single
-// process can stand up the full gateway→backend loopback chain.
+// delay. GET /stats returns the live counter set as JSON — the same
+// self-reporting surface the gateway has, so a fleet scraper sees
+// backends too. cmd/aonback wraps it; tests and benchmarks embed it so a
+// single process can stand up the full gateway→backend loopback chain.
 type BackendServer struct {
-	cfg BackendConfig
-	ln  net.Listener
+	cfg   BackendConfig
+	ln    net.Listener
+	start time.Time
 
-	Requests atomic.Uint64 // messages answered
-	Failed   atomic.Uint64 // connections dropped by FailFirst
-	BytesIn  atomic.Uint64
-	BytesOut atomic.Uint64
-	seq      atomic.Uint64 // request sequencing incl. injected failures
+	Requests      atomic.Uint64 // messages answered
+	Failed        atomic.Uint64 // connections dropped by FailFirst
+	StatsRequests atomic.Uint64 // GET /stats scrapes answered
+	BytesIn       atomic.Uint64
+	BytesOut      atomic.Uint64
+	seq           atomic.Uint64 // request sequencing incl. injected failures
+
+	// Latency is the per-message service histogram (framing complete →
+	// response written, the configured Delay included).
+	Latency lhist.Hist
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -65,7 +76,7 @@ func StartBackend(addr string, cfg BackendConfig) (*BackendServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &BackendServer{cfg: cfg, ln: ln, conns: map[net.Conn]struct{}{}}
+	s := &BackendServer{cfg: cfg, ln: ln, start: time.Now(), conns: map[net.Conn]struct{}{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -118,11 +129,32 @@ func (s *BackendServer) handle(c net.Conn) {
 	}()
 	br := bufio.NewReaderSize(c, 32<<10)
 	for {
-		n, err := discardRequest(br)
+		reqLine, n, err := discardRequest(br)
 		if err != nil {
 			return
 		}
 		s.BytesIn.Add(uint64(n))
+		if method, target, _ := strings.Cut(reqLine, " "); method == "GET" {
+			// Control plane: /stats bypasses fault injection, delay, and
+			// the message counters, so observability survives a fault storm
+			// — mirroring the gateway's GET fast path.
+			path, _, _ := strings.Cut(target, " ")
+			path = strings.TrimSuffix(strings.TrimSpace(path), "/")
+			var resp []byte
+			if strings.HasSuffix(path, "stats") {
+				s.StatsRequests.Add(1)
+				resp = jsonResponse(200, "OK", s.Stats())
+			} else {
+				resp = jsonResponse(404, "Not Found", map[string]string{"error": "not found"})
+			}
+			w, err := c.Write(resp)
+			s.BytesOut.Add(uint64(w))
+			if err != nil {
+				return
+			}
+			continue
+		}
+		t0 := time.Now()
 		seq := s.seq.Add(1)
 		if int(seq) <= s.cfg.FailFirst {
 			// Injected fault: drop the connection mid-exchange so the
@@ -137,10 +169,61 @@ func (s *BackendServer) handle(c net.Conn) {
 		w, err := c.Write(resp)
 		s.BytesOut.Add(uint64(w))
 		s.Requests.Add(1)
+		s.Latency.Observe(time.Since(t0))
 		if err != nil {
 			return
 		}
 	}
+}
+
+// BackendStats is the GET /stats JSON shape — the backend's
+// self-reported counter set, keyed the same way the gateway reports so a
+// cross-node scraper treats both uniformly. TMS is the backend's own
+// wall clock at snapshot time: cross-node merging aligns on each node's
+// monotonic timestamps, never on comparing clocks across machines.
+type BackendStats struct {
+	Name          string         `json:"name"`
+	TMS           int64          `json:"t_ms"`
+	UptimeSec     float64        `json:"uptime_sec"`
+	Requests      uint64         `json:"requests"`
+	Dropped       uint64         `json:"dropped"`
+	StatsRequests uint64         `json:"stats_requests"`
+	BytesIn       uint64         `json:"bytes_in"`
+	BytesOut      uint64         `json:"bytes_out"`
+	RespBytes     int            `json:"resp_bytes"`
+	DelayMS       float64        `json:"delay_ms"`
+	FailFirst     int            `json:"fail_first"`
+	FaultActive   bool           `json:"fault_active"`
+	Latency       lhist.Snapshot `json:"latency"`
+}
+
+// Stats snapshots the live counters.
+func (s *BackendServer) Stats() BackendStats {
+	return BackendStats{
+		Name:          s.cfg.Name,
+		TMS:           time.Now().UnixMilli(),
+		UptimeSec:     time.Since(s.start).Seconds(),
+		Requests:      s.Requests.Load(),
+		Dropped:       s.Failed.Load(),
+		StatsRequests: s.StatsRequests.Load(),
+		BytesIn:       s.BytesIn.Load(),
+		BytesOut:      s.BytesOut.Load(),
+		RespBytes:     s.cfg.RespBytes,
+		DelayMS:       float64(s.cfg.Delay) / float64(time.Millisecond),
+		FailFirst:     s.cfg.FailFirst,
+		FaultActive:   s.seq.Load() < uint64(s.cfg.FailFirst),
+		Latency:       s.Latency.Snapshot(),
+	}
+}
+
+// jsonResponse wraps v as an HTTP/1.1 JSON response.
+func jsonResponse(status int, phrase string, v any) []byte {
+	body, _ := json.MarshalIndent(v, "", "  ")
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n",
+		status, phrase, len(body))
+	b.Write(body)
+	return b.Bytes()
 }
 
 // response builds the padded JSON ack.
@@ -160,39 +243,43 @@ func (s *BackendServer) response(seq uint64) []byte {
 }
 
 // discardRequest frames one HTTP/1.1 request off the wire (header block
-// to the blank line, then Content-Length body bytes) and throws it away,
-// returning the wire size. The backend's job is to terminate the hop,
-// not to re-process XML the gateway already handled.
-func discardRequest(br *bufio.Reader) (int, error) {
+// to the blank line, then Content-Length body bytes) and throws the body
+// away, returning the request line and the wire size. The backend's job
+// is to terminate the hop, not to re-process XML the gateway already
+// handled — only the method/target matter (for the /stats control
+// plane).
+func discardRequest(br *bufio.Reader) (string, int, error) {
 	total := 0
 	clen := 0
-	sawHeader := false
+	reqLine := ""
 	for {
 		line, err := br.ReadString('\n')
 		if err != nil {
 			if err == io.EOF && total == 0 && line == "" {
-				return 0, io.EOF
+				return "", 0, io.EOF
 			}
-			return 0, err
+			return "", 0, err
 		}
 		total += len(line)
 		if total > 64<<10 {
-			return 0, errors.New("backend: header block too large")
+			return "", 0, errors.New("backend: header block too large")
 		}
 		trimmed := strings.TrimRight(line, "\r\n")
 		if trimmed == "" {
-			if sawHeader {
+			if reqLine != "" {
 				break
 			}
 			total = 0 // tolerate blank lines before the request line
 			continue
 		}
-		sawHeader = true
+		if reqLine == "" {
+			reqLine = trimmed
+		}
 		if i := strings.IndexByte(trimmed, ':'); i > 0 {
 			if strings.EqualFold(strings.TrimSpace(trimmed[:i]), "Content-Length") {
 				n, err := strconv.Atoi(strings.TrimSpace(trimmed[i+1:]))
 				if err != nil || n < 0 {
-					return 0, errors.New("backend: bad Content-Length")
+					return "", 0, errors.New("backend: bad Content-Length")
 				}
 				clen = n
 			}
@@ -200,9 +287,9 @@ func discardRequest(br *bufio.Reader) (int, error) {
 	}
 	if clen > 0 {
 		if _, err := io.CopyN(io.Discard, br, int64(clen)); err != nil {
-			return 0, err
+			return "", 0, err
 		}
 		total += clen
 	}
-	return total, nil
+	return reqLine, total, nil
 }

@@ -435,3 +435,96 @@ func TestBackendKeepAlive(t *testing.T) {
 		t.Fatalf("backend requests=%d, want 3", got)
 	}
 }
+
+// TestBackendStats pins the backend's /stats control plane: GET /stats
+// answers the live counter JSON (request counts, fault-injection state,
+// latency histogram) on the same keep-alive socket the data plane uses,
+// without counting itself as a message or tripping fault injection.
+func TestBackendStats(t *testing.T) {
+	be, err := StartBackend("127.0.0.1:0", BackendConfig{
+		Name: "order", Delay: 2 * time.Millisecond, FailFirst: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+
+	get := func(c net.Conn, br *bufio.Reader, path string) (int, string) {
+		t.Helper()
+		if _, err := fmt.Fprintf(c, "GET %s HTTP/1.1\r\nHost: order\r\n\r\n", path); err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := readResponse(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Status, string(res.Body)
+	}
+
+	c, err := net.Dial("tcp", be.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	br := bufio.NewReader(c)
+
+	// Before any message: fault injection armed, zero requests.
+	status, body := get(c, br, "/stats")
+	if status != 200 {
+		t.Fatalf("/stats status=%d body=%s", status, body)
+	}
+	for _, want := range []string{`"name": "order"`, `"requests": 0`, `"fail_first": 1`, `"fault_active": true`, `"t_ms"`, `"latency"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/stats missing %s:\n%s", want, body)
+		}
+	}
+
+	// First POST trips the injected fault (connection dropped)...
+	if _, err := c.Write(testRequest(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readResponse(br); err == nil {
+		t.Fatal("injected fault did not drop the connection")
+	}
+	// ...the second, on a fresh socket, is served.
+	c2, err := net.Dial("tcp", be.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	br2 := bufio.NewReader(c2)
+	if _, err := c2.Write(testRequest(1)); err != nil {
+		t.Fatal(err)
+	}
+	if res, _, err := readResponse(br2); err != nil || res.Status != 200 {
+		t.Fatalf("post-fault request: res=%+v err=%v", res, err)
+	}
+
+	status, body = get(c2, br2, "/stats")
+	if status != 200 {
+		t.Fatalf("/stats status=%d", status)
+	}
+	for _, want := range []string{`"requests": 1`, `"dropped": 1`, `"fault_active": false`, `"delay_ms": 2`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/stats missing %s:\n%s", want, body)
+		}
+	}
+	// The served message's latency (>= the 2ms delay) landed in the hist.
+	if !strings.Contains(body, `"count": 1`) {
+		t.Fatalf("latency histogram not populated:\n%s", body)
+	}
+	if be.Stats().Latency.P50US < 2000 {
+		t.Fatalf("latency p50=%dus, want >= delay 2000us", be.Stats().Latency.P50US)
+	}
+
+	// Unknown GET paths 404 but keep the connection usable.
+	if status, _ = get(c2, br2, "/nope"); status != 404 {
+		t.Fatalf("GET /nope status=%d want 404", status)
+	}
+	if _, err := c2.Write(testRequest(2)); err != nil {
+		t.Fatal(err)
+	}
+	if res, _, err := readResponse(br2); err != nil || res.Status != 200 {
+		t.Fatalf("request after 404: res=%+v err=%v", res, err)
+	}
+}
