@@ -13,15 +13,20 @@
 //	aonback -addr :9081 -resp-size 2048 -delay 2ms  # heavier reverse path
 //	aonback -addr :9081 -fail-first 50              # fault injection
 //	curl http://localhost:9081/stats                # live counters JSON
+//	curl http://localhost:9081/fault                # live fault state
+//	curl -d '{"error_rate":0.2}' http://localhost:9081/fault  # script a fault
 //
 // -resp-size pads the JSON ack (reverse-path wire cost); -delay emulates
 // backend service time; -fail-first N drops the first N requests without
 // responding (connection closed — exercises the gateway's retry and
-// health-probe paths). GET /stats serves the live counters as JSON —
-// request/drop/byte totals, the fault-injection state, and the service
-// latency histogram — which is how cmd/aonfleet scrapes backends into
-// the merged cross-node session. SIGINT/SIGTERM prints the same snapshot
-// on stdout.
+// health-probe paths). POST /fault scripts runtime fault storms —
+// fail-next-N, error-rate, latency-inflation, down-for-duration — which
+// is how cmd/aoncamp drives scripted fault campaigns; -seed keys the
+// deterministic error-rate draw. GET /stats serves the live counters as
+// JSON — request/drop/byte totals, the fault-injection state, and the
+// service latency histogram — which is how cmd/aonfleet scrapes backends
+// into the merged cross-node session. SIGINT/SIGTERM prints the same
+// snapshot on stdout.
 package main
 
 import (
@@ -41,6 +46,7 @@ func main() {
 	respSize := flag.Int("resp-size", 128, "approximate response body bytes")
 	delay := flag.Duration("delay", 0, "per-request service delay")
 	failFirst := flag.Int("fail-first", 0, "drop the first N requests without responding (fault injection)")
+	seed := flag.Uint64("seed", 0, "seed for the deterministic error-rate fault draw")
 	flag.Parse()
 
 	if *failFirst < 0 {
@@ -52,13 +58,14 @@ func main() {
 		RespBytes: *respSize,
 		Delay:     *delay,
 		FailFirst: *failFirst,
+		Seed:      *seed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aonback:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "aonback: %s endpoint listening on %s (resp-size=%d delay=%s fail-first=%d), stats on GET /stats\n",
-		*name, srv.Addr(), *respSize, *delay, *failFirst)
+	fmt.Fprintf(os.Stderr, "aonback: %s endpoint listening on %s (resp-size=%d delay=%s fail-first=%d seed=%d), stats on GET /stats, fault control on POST /fault\n",
+		*name, srv.Addr(), *respSize, *delay, *failFirst, *seed)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

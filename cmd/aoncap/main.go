@@ -19,8 +19,10 @@
 //
 // The worker demand seeds from (highest precedence first): -demand-us,
 // the session's minimum positive p50 (the closest the session got to a
-// no-contention service time), or a calibration artifact's recorded
-// live p50 (-calibration with -usecase).
+// no-contention service time), a calibration artifact's recorded live
+// p50 (-calibration with -usecase), or the built-in per-use-case seed
+// table (capacity.SeedDemands — covers FR/CBR/SV/DPI/AUTH/XJ) so a bare
+// -usecase answers before any artifact exists.
 //
 // Usage:
 //
@@ -28,6 +30,7 @@
 //	aoncap -csv session.csv -widths 1,2,4,8 -target-p99 50ms
 //	aoncap -calibration aon-calibration.json -usecase CBR -widths 1,2,4
 //	aoncap -demand-us 900 -widths 1,2,4,8,16 -replicas 2
+//	aoncap -usecase XJ -widths 1,2,4   # built-in use-case seed
 package main
 
 import (
@@ -78,12 +81,22 @@ func main() {
 	}
 
 	demand, width, source := seedDemand(rows, *calPath, *ucName, *demandUS)
-	if demand <= 0 {
-		fatal("no demand seed: give -csv, -calibration, or -demand-us")
+	var demands capacity.StageDemands
+	if demand > 0 {
+		demands = capacity.StageDemands{Process: demand, Forward: *forwardUS / 1e6}
+	} else if seed, ok := capacity.SeedDemands(*ucName); ok {
+		// Last resort: the built-in per-use-case seed table, so a bare
+		// `aoncap -usecase XJ -widths 1,2,4` answers before any session
+		// or calibration artifact exists.
+		demands = seed
+		demands.Forward = *forwardUS / 1e6
+		demand = demands.WorkerDemand()
+		source = fmt.Sprintf("built-in %s use-case seed", *ucName)
+	} else {
+		fatal("no demand seed: give -csv, -calibration, or -demand-us (or -usecase with a built-in seed: " +
+			strings.Join(capacity.SeededUseCases(), ",") + ")")
 	}
-	fmt.Printf("aoncap: worker demand %.0fus (%s), target p99 %v\n", demand*1e6, source, *targetP99)
-
-	demands := capacity.StageDemands{Process: demand, Forward: *forwardUS / 1e6}
+	fmt.Printf("aoncap: worker demand %.0fus (%s), target p99 %v\n", demands.WorkerDemand()*1e6, source, *targetP99)
 	topo := capacity.GatewayTopology{Workers: width, Backends: *replicas}
 	if *forwardUS > 0 {
 		topo.BackendConns = *backendConns

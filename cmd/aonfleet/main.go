@@ -14,6 +14,14 @@
 //	aonfleet -config fleet.json             # launch + observe until ^C
 //	aonfleet -config fleet.json -print-report
 //
+// A config with a "campaign" block (a full internal/campaign scenario
+// spec: phased traffic shapes plus scripted fault storms) replaces the
+// sweep: the fleet launches, the campaign runs against the first
+// gateway — with empty "backends" filled from the topology's backend
+// nodes so fault steps hit their live POST /fault endpoints — and the
+// per-phase report lands next to the fleet report. "sweep.conns" and
+// "campaign" are mutually exclusive.
+//
 // Topology config (see EXPERIMENTS.md for the full walkthrough):
 //
 //	{
@@ -84,13 +92,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	campaignErr := runCampaign(co, *sweep, sig)
+	campaignErr := runCampaign(co, cfg, *sweep, sig)
 
 	report, finishErr := co.Finish()
 	if finishErr != nil {
 		fmt.Fprintln(os.Stderr, "aonfleet:", finishErr)
 	} else if *printReport {
 		fmt.Print(report)
+		if cr := co.CampaignReport(); cr != "" {
+			fmt.Print(cr)
+		}
 	}
 	shutdownErr := co.Shutdown()
 	if shutdownErr != nil {
@@ -101,24 +112,34 @@ func main() {
 	}
 }
 
-// runCampaign either drives the sweep (interruptible between points via
-// the process signal, which also stops a long observe-only session) or
-// just holds the fleet up, scraping, until a signal arrives.
-func runCampaign(co *fleet.Coordinator, sweep bool, sig chan os.Signal) error {
+// runCampaign drives the configured load: a scenario campaign when the
+// config carries one (its presence is the opt-in — no flag needed), the
+// connection sweep under -sweep, or an observe-only hold until a signal
+// arrives. Both drivers are interruptible via the process signal.
+func runCampaign(co *fleet.Coordinator, cfg *fleet.Config, sweep bool, sig chan os.Signal) error {
+	if cfg.Campaign != nil {
+		return interruptible(co.RunCampaign, "campaign", sig)
+	}
 	if sweep {
-		done := make(chan error, 1)
-		go func() { done <- co.RunSweep() }()
-		select {
-		case err := <-done:
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "aonfleet:", err)
-			}
-			return err
-		case s := <-sig:
-			return fmt.Errorf("aonfleet: sweep interrupted by %v", s)
-		}
+		return interruptible(co.RunSweep, "sweep", sig)
 	}
 	fmt.Fprintln(os.Stderr, "aonfleet: fleet up, scraping; ^C to stop")
 	<-sig
 	return nil
+}
+
+// interruptible runs the driver in a goroutine so a signal can abandon
+// it (the fleet teardown still runs).
+func interruptible(run func() error, what string, sig chan os.Signal) error {
+	done := make(chan error, 1)
+	go func() { done <- run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aonfleet:", err)
+		}
+		return err
+	case s := <-sig:
+		return fmt.Errorf("aonfleet: %s interrupted by %v", what, s)
+	}
 }

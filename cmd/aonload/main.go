@@ -54,13 +54,14 @@ import (
 
 func main() {
 	addr := flag.String("addr", "localhost:8080", "gateway address")
-	ucName := flag.String("usecase", "FR", "use case: FR, CBR, SV, DPI, AUTH")
+	ucName := flag.String("usecase", "FR", "use case: FR, CBR, SV, DPI, AUTH, XJ")
 	conns := flag.Int("conns", 8, "concurrent keep-alive connections")
 	msgs := flag.Int("n", 0, "total messages (0 = run for -duration)")
 	duration := flag.Duration("duration", 0, "run length (0 = send -n messages; both 0 = 1000 messages)")
 	size := flag.Int("size", workload.MessageBytes, "approximate POST body bytes")
 	invalidEvery := flag.Int("invalid-every", 0, "make every Nth message schema-invalid (0 = never)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	seed := flag.Uint64("seed", 0, "message-generator seed (0 = legacy stream); same seed replays identical traffic")
 	outPath := flag.String("out", "", "also write the final JSON report to this file (cmd/aonfleet reads it back)")
 	sweep := flag.String("sweep", "", "comma-separated GOMAXPROCS widths for a self-hosted scaling run (e.g. 1,2,4)")
 	order := flag.String("order", "", "sweep mode: order backend address for the swept gateway")
@@ -100,6 +101,7 @@ func main() {
 		Size:         *size,
 		InvalidEvery: *invalidEvery,
 		Timeout:      *timeout,
+		Seed:         *seed,
 	}
 
 	if *sweep != "" {

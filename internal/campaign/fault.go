@@ -1,0 +1,153 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/upstream"
+)
+
+// FaultEvent records one scripted fault step as it fired: which phase,
+// when, against which backend, and the backend's acknowledged state (or
+// the error if the POST failed — a fault storm against a dead backend is
+// itself a finding, not a campaign abort).
+type FaultEvent struct {
+	Phase   string               `json:"phase"`
+	AtMS    int                  `json:"at_ms"`
+	Backend string               `json:"backend"`
+	Fault   upstream.FaultSpec   `json:"fault"`
+	State   *upstream.FaultState `json:"state,omitempty"`
+	Err     string               `json:"err,omitempty"`
+}
+
+// PostFault sends one POST /fault to an aonback control plane and
+// returns the acknowledged fault state.
+func PostFault(addr string, spec upstream.FaultSpec, timeout time.Duration) (*upstream.FaultState, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: fault spec: %w", err)
+	}
+	return faultRoundTrip(addr, "POST", body, timeout)
+}
+
+// GetFault reads a backend's current fault state without changing it.
+func GetFault(addr string, timeout time.Duration) (*upstream.FaultState, error) {
+	return faultRoundTrip(addr, "GET", nil, timeout)
+}
+
+// faultRoundTrip speaks the backend's minimal HTTP/1.1 control plane
+// directly over a fresh connection — the campaign runner must not
+// depend on net/http for a two-line exchange the repo frames by hand
+// everywhere else.
+func faultRoundTrip(addr, method string, body []byte, timeout time.Duration) (*upstream.FaultState, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: fault %s: %w", addr, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	req := fmt.Sprintf("%s /fault HTTP/1.1\r\nHost: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
+		method, addr, len(body), body)
+	if _, err := conn.Write([]byte(req)); err != nil {
+		return nil, fmt.Errorf("campaign: fault %s: %w", addr, err)
+	}
+	resp, err := readAll(conn)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: fault %s: %w", addr, err)
+	}
+	head, payload, ok := strings.Cut(resp, "\r\n\r\n")
+	if !ok {
+		return nil, fmt.Errorf("campaign: fault %s: malformed response %.80q", addr, resp)
+	}
+	if !strings.Contains(head, " 200 ") {
+		return nil, fmt.Errorf("campaign: fault %s: %s", addr, strings.SplitN(head, "\r\n", 2)[0])
+	}
+	var st upstream.FaultState
+	if err := json.Unmarshal([]byte(payload), &st); err != nil {
+		return nil, fmt.Errorf("campaign: fault %s: bad state payload: %w", addr, err)
+	}
+	return &st, nil
+}
+
+// readAll drains a Connection: close response.
+func readAll(conn net.Conn) (string, error) {
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			if sb.Len() > 0 {
+				return sb.String(), nil
+			}
+			return "", err
+		}
+	}
+}
+
+// faultScript runs one phase's fault steps at their offsets, appending
+// events to the shared log under mu. It returns when all steps have
+// fired or stop closes.
+func (r *runner) faultScript(phase *Phase, stop <-chan struct{}) {
+	start := time.Now()
+	// Steps fire in at_ms order regardless of spec order.
+	steps := make([]FaultStep, len(phase.Faults))
+	copy(steps, phase.Faults)
+	for i := 1; i < len(steps); i++ {
+		for j := i; j > 0 && steps[j].AtMS < steps[j-1].AtMS; j-- {
+			steps[j], steps[j-1] = steps[j-1], steps[j]
+		}
+	}
+	for _, step := range steps {
+		due := time.Duration(step.AtMS)*time.Millisecond - time.Since(start)
+		if due > 0 {
+			select {
+			case <-stop:
+				return
+			case <-time.After(due):
+			}
+		}
+		addr := r.spec.Backends[step.Backend]
+		ev := FaultEvent{Phase: phase.Name, AtMS: step.AtMS, Backend: addr, Fault: step.Fault}
+		st, err := PostFault(addr, step.Fault, r.timeout)
+		if err != nil {
+			ev.Err = err.Error()
+		} else {
+			ev.State = st
+		}
+		r.mu.Lock()
+		r.faultLog = append(r.faultLog, ev)
+		r.mu.Unlock()
+		r.logf("campaign: phase %s +%dms fault -> %s (%s)", phase.Name, step.AtMS, addr, describeFault(step.Fault, err))
+	}
+}
+
+// describeFault renders a one-line human summary of a fault step.
+func describeFault(f upstream.FaultSpec, err error) string {
+	if err != nil {
+		return "post failed: " + err.Error()
+	}
+	var parts []string
+	if f.Clear {
+		parts = append(parts, "clear")
+	}
+	if f.FailNext != nil {
+		parts = append(parts, fmt.Sprintf("fail_next=%d", *f.FailNext))
+	}
+	if f.ErrorRate != nil {
+		parts = append(parts, fmt.Sprintf("error_rate=%.2f", *f.ErrorRate))
+	}
+	if f.ExtraDelayMS != nil {
+		parts = append(parts, fmt.Sprintf("extra_delay_ms=%.0f", *f.ExtraDelayMS))
+	}
+	if f.DownMS != nil {
+		parts = append(parts, fmt.Sprintf("down_ms=%.0f", *f.DownMS))
+	}
+	if len(parts) == 0 {
+		return "state query"
+	}
+	return strings.Join(parts, " ")
+}

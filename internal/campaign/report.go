@@ -1,0 +1,326 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/capacity"
+	"repro/internal/gateway"
+)
+
+// Result is the campaign's final accounting — aoncamp emits it as JSON
+// next to the formatted report.
+type Result struct {
+	Name        string        `json:"name"`
+	Addr        string        `json:"addr"`
+	Seed        uint64        `json:"seed,omitempty"`
+	DurationSec float64       `json:"duration_sec"`
+	Phases      []PhaseReport `json:"phases"`
+	Faults      []FaultEvent  `json:"faults,omitempty"`
+	Samples     int           `json:"samples"`
+	Artifacts   []string      `json:"artifacts,omitempty"`
+}
+
+// PhaseReport is one phase's Figure-5/6-style row: client-side outcome
+// accounting, gateway-side counter deltas, the per-stage service-time
+// window, and the capacity model's take on the same load.
+type PhaseReport struct {
+	Name        string  `json:"name"`
+	Shape       string  `json:"shape"`
+	UseCase     string  `json:"usecase"`
+	DurationSec float64 `json:"duration_sec"`
+	PeakConns   int     `json:"peak_conns"`
+
+	// Client-side accounting.
+	Sent        uint64 `json:"sent"`
+	OK          uint64 `json:"ok_200"`
+	Shed        uint64 `json:"shed_503"`
+	HTTPErrors  uint64 `json:"http_errors"`
+	NetErrors   uint64 `json:"net_errors"`
+	Forwarded   uint64 `json:"forwarded"`
+	Match       uint64 `json:"routed_match"`
+	RoutedError uint64 `json:"routed_error"`
+	Valid       uint64 `json:"validation_ok"`
+	Translated  uint64 `json:"translated"`
+	ParseErrors uint64 `json:"parse_errors"`
+
+	OfferedPerSec float64 `json:"offered_per_sec"` // sent+shed+errors per second
+	OKPerSec      float64 `json:"ok_per_sec"`
+	LatencyP50US  uint64  `json:"latency_p50_us"`
+	LatencyP99US  uint64  `json:"latency_p99_us"`
+
+	// Gateway-side deltas between the phase's start and end snapshots.
+	GwMessages     uint64 `json:"gw_messages"`
+	GwShed         uint64 `json:"gw_shed"`
+	GwIdleTimeouts uint64 `json:"gw_idle_timeouts"`
+	GwUpstreamErrs uint64 `json:"gw_upstream_errors"`
+
+	// Slow-loris accounting (zero for other shapes).
+	LorisHeld      uint64 `json:"loris_held,omitempty"`
+	LorisReaped    uint64 `json:"loris_reaped,omitempty"`
+	LorisCompleted uint64 `json:"loris_completed,omitempty"`
+
+	// Stages is the phase's windowed per-stage service-time view
+	// (read/queue/parse/process/forward/write), from the gateway's
+	// cumulative stage histograms differenced across the phase. Nil when
+	// the gateway runs without tracing.
+	Stages map[string]StageWindow `json:"stages,omitempty"`
+
+	// Model is the capacity model's prediction at this phase's offered
+	// load, seeded from the phase's own stage window. Nil when the stage
+	// window is empty (no tracing, or an idle phase).
+	Model *ModelError `json:"model,omitempty"`
+
+	// FaultSteps counts the scripted fault posts that fired this phase.
+	FaultSteps int `json:"fault_steps,omitempty"`
+}
+
+// StageWindow is one pipeline stage's share of the phase: how many
+// traced requests crossed it and their mean service time, computed as a
+// windowed mean between the phase's start/end cumulative snapshots.
+type StageWindow struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+}
+
+// ModelError compares the analytic capacity model against the phase's
+// measured throughput and tail, the model-error columns of the report.
+type ModelError struct {
+	// DemandUS is the per-message worker demand the phase's stage window
+	// seeded the model with.
+	DemandUS float64 `json:"demand_us"`
+	Workers  int     `json:"workers"`
+	// PredictedPerSec / PredictedP99US at the phase's offered load.
+	PredictedPerSec float64 `json:"predicted_per_sec"`
+	PredictedP99US  float64 `json:"predicted_p99_us"`
+	// AdmissiblePerSec is the model's max load under the campaign's p99
+	// target.
+	AdmissiblePerSec float64 `json:"admissible_per_sec"`
+	ThroughputErrPct float64 `json:"throughput_err_pct"`
+	P99ErrPct        float64 `json:"p99_err_pct"`
+}
+
+// buildPhaseReport folds the phase's pools and gateway snapshots into
+// one report row.
+func buildPhaseReport(p *Phase, dur time.Duration, sp *senderPool, lp *lorisPool,
+	snapStart, snapEnd *gateway.Snapshot, spec *Spec) *PhaseReport {
+	rep := &PhaseReport{
+		Name:        p.Name,
+		Shape:       string(p.Shape),
+		UseCase:     p.UseCase,
+		DurationSec: dur.Seconds(),
+		PeakConns:   p.PeakWidth(),
+		Sent:        sp.sent.Load(),
+		OK:          sp.ok.Load(),
+		Shed:        sp.shed.Load(),
+		HTTPErrors:  sp.httpErr.Load(),
+		NetErrors:   sp.netErr.Load(),
+		Forwarded:   sp.forwarded.Load(),
+		Match:       sp.match.Load(),
+		RoutedError: sp.routedErr.Load(),
+		Valid:       sp.valid.Load(),
+		Translated:  sp.translated.Load(),
+		ParseErrors: sp.parseErr.Load(),
+		FaultSteps:  len(p.Faults),
+	}
+	if rep.DurationSec > 0 {
+		rep.OfferedPerSec = float64(rep.Sent) / rep.DurationSec
+		rep.OKPerSec = float64(rep.OK) / rep.DurationSec
+	}
+	h := sp.hist.Snapshot()
+	rep.LatencyP50US, rep.LatencyP99US = h.P50US, h.P99US
+	if lp != nil {
+		rep.LorisHeld = lp.held.Load()
+		rep.LorisReaped = lp.reaped.Load()
+		rep.LorisCompleted = lp.completed.Load()
+	}
+	rep.GwMessages = delta(snapEnd.Messages, snapStart.Messages)
+	rep.GwShed = delta(snapEnd.Shed, snapStart.Shed)
+	rep.GwIdleTimeouts = delta(snapEnd.IdleTimeouts, snapStart.IdleTimeouts)
+	rep.GwUpstreamErrs = delta(snapEnd.UpstreamErrs, snapStart.UpstreamErrs)
+
+	rep.Stages = stageWindow(snapStart.Stages[p.UseCase], snapEnd.Stages[p.UseCase])
+	rep.Model = modelError(rep, snapEnd.Workers, spec)
+	return rep
+}
+
+func delta(end, start uint64) uint64 {
+	if end < start {
+		return 0
+	}
+	return end - start
+}
+
+// stageWindow differences two cumulative per-stage snapshot maps into
+// the phase's own window: count deltas, and the windowed mean
+// (c2·m2 − c1·m1)/(c2 − c1) that removes pre-phase history from the
+// cumulative means.
+func stageWindow(start, end map[string]gateway.HistSnapshot) map[string]StageWindow {
+	if len(end) == 0 {
+		return nil
+	}
+	out := map[string]StageWindow{}
+	for stage, e := range end {
+		s := start[stage] // zero value when the phase is the stage's first
+		if e.Count <= s.Count {
+			continue
+		}
+		n := e.Count - s.Count
+		mean := (float64(e.Count)*e.MeanUS - float64(s.Count)*s.MeanUS) / float64(n)
+		if mean < 0 {
+			mean = 0
+		}
+		out[stage] = StageWindow{Count: n, MeanUS: mean}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// modelError seeds the capacity model from the phase's own stage window
+// and scores it against the measured row.
+func modelError(rep *PhaseReport, workers int, spec *Spec) *ModelError {
+	if len(rep.Stages) == 0 || workers <= 0 || rep.OKPerSec <= 0 {
+		return nil
+	}
+	d := capacity.StageDemands{
+		Read:    rep.Stages["read"].MeanUS / 1e6,
+		Parse:   rep.Stages["parse"].MeanUS / 1e6,
+		Process: rep.Stages["process"].MeanUS / 1e6,
+		Forward: rep.Stages["forward"].MeanUS / 1e6,
+		Write:   rep.Stages["write"].MeanUS / 1e6,
+	}
+	if d.WorkerDemand() <= 0 {
+		return nil
+	}
+	m := capacity.GatewayModel(d, capacity.GatewayTopology{Workers: workers})
+	pred := m.Predict(rep.OfferedPerSec)
+	me := &ModelError{
+		DemandUS:         d.WorkerDemand() * 1e6,
+		Workers:          workers,
+		PredictedPerSec:  pred.ThroughputPerSec,
+		PredictedP99US:   pred.P99US,
+		AdmissiblePerSec: m.MaxLoadForP99(float64(spec.TargetP99MS) * 1000),
+	}
+	me.ThroughputErrPct = errPct(pred.ThroughputPerSec, rep.OKPerSec)
+	me.P99ErrPct = errPct(pred.P99US, float64(rep.LatencyP99US))
+	return me
+}
+
+func errPct(pred, meas float64) float64 {
+	if meas <= 0 {
+		return 0
+	}
+	e := 100 * (pred - meas) / meas
+	if e < 0 {
+		return -e
+	}
+	return e
+}
+
+// FormatReport renders the human-readable campaign report: the per-phase
+// scaling table, the model-error columns, the per-phase stage tables,
+// and the fault log.
+func FormatReport(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %s against %s: %d phases, %.1fs, %d samples",
+		res.Name, res.Addr, len(res.Phases), res.DurationSec, res.Samples)
+	if res.Seed != 0 {
+		fmt.Fprintf(&b, ", seed %d", res.Seed)
+	}
+	b.WriteString("\n\n")
+
+	fmt.Fprintf(&b, "%-14s %-9s %-5s %6s %6s %10s %8s %8s %8s %6s %6s %6s\n",
+		"phase", "shape", "uc", "dur(s)", "peak", "offered/s", "ok/s",
+		"p50us", "p99us", "shed", "idle", "flt")
+	for i := range res.Phases {
+		p := &res.Phases[i]
+		fmt.Fprintf(&b, "%-14s %-9s %-5s %6.1f %6d %10.0f %8.0f %8d %8d %6d %6d %6d\n",
+			p.Name, p.Shape, p.UseCase, p.DurationSec, p.PeakConns,
+			p.OfferedPerSec, p.OKPerSec, p.LatencyP50US, p.LatencyP99US,
+			max64(p.Shed, p.GwShed), // client and gateway shed views can differ under overlap
+			p.GwIdleTimeouts, p.FaultSteps)
+	}
+
+	if anyModel(res.Phases) {
+		fmt.Fprintf(&b, "\ncapacity model vs measured (per phase):\n")
+		fmt.Fprintf(&b, "%-14s %9s %7s %10s %7s %10s %7s %12s\n",
+			"phase", "demand-us", "workers", "pred/s", "err%", "pred-p99", "err%", "admissible/s")
+		for i := range res.Phases {
+			p := &res.Phases[i]
+			if p.Model == nil {
+				fmt.Fprintf(&b, "%-14s %9s\n", p.Name, "-")
+				continue
+			}
+			m := p.Model
+			fmt.Fprintf(&b, "%-14s %9.0f %7d %10.0f %7.1f %10.0f %7.1f %12.0f\n",
+				p.Name, m.DemandUS, m.Workers, m.PredictedPerSec, m.ThroughputErrPct,
+				m.PredictedP99US, m.P99ErrPct, m.AdmissiblePerSec)
+		}
+	}
+
+	for i := range res.Phases {
+		p := &res.Phases[i]
+		if len(p.Stages) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nphase %s stage window (mean us over %d+ traced):\n", p.Name, minStageCount(p.Stages))
+		for _, stage := range gateway.StageNames() {
+			w, ok := p.Stages[stage]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-8s %8.0fus  (n=%d)\n", stage, w.MeanUS, w.Count)
+		}
+		if p.LorisHeld > 0 || p.LorisReaped > 0 {
+			fmt.Fprintf(&b, "  loris: held=%d reaped=%d completed=%d (gateway reaped %d by idle deadline)\n",
+				p.LorisHeld, p.LorisReaped, p.LorisCompleted, p.GwIdleTimeouts)
+		}
+	}
+
+	if len(res.Faults) > 0 {
+		fmt.Fprintf(&b, "\nfault log (%d steps):\n", len(res.Faults))
+		for _, ev := range res.Faults {
+			state := "ok"
+			if ev.Err != "" {
+				state = "ERR " + ev.Err
+			} else if ev.State != nil {
+				state = fmt.Sprintf("active=%v dropped=%d errored=%d", ev.State.Active, ev.State.Dropped, ev.State.Errored)
+			}
+			fmt.Fprintf(&b, "  %-14s +%-6dms %-21s %-30s %s\n",
+				ev.Phase, ev.AtMS, ev.Backend, describeFault(ev.Fault, nil), state)
+		}
+	}
+	return b.String()
+}
+
+func anyModel(phases []PhaseReport) bool {
+	for i := range phases {
+		if phases[i].Model != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func minStageCount(stages map[string]StageWindow) uint64 {
+	counts := make([]uint64, 0, len(stages))
+	for _, w := range stages {
+		counts = append(counts, w.Count)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+	if len(counts) == 0 {
+		return 0
+	}
+	return counts[0]
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,567 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/lhist"
+	"repro/internal/session"
+	"repro/internal/workload"
+)
+
+// Options parameterizes one campaign run.
+type Options struct {
+	// Addr overrides Spec.Addr (aonfleet injects the launched gateway).
+	Addr string
+	// OutDir receives the session artifacts (JSONL + CSV); empty means
+	// no artifacts, report only.
+	OutDir string
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// runner carries one campaign's live state.
+type runner struct {
+	spec    *Spec
+	addr    string
+	timeout time.Duration
+	logf    func(string, ...any)
+	http    *http.Client
+
+	mu       sync.Mutex
+	curPhase string
+	faultLog []FaultEvent
+	jsonl    io.Writer
+	csvw     *csv.Writer
+	samples  int
+
+	// previous cumulative /stats view for delta sampling (sampler
+	// goroutine only).
+	prevTMS      int64
+	prevMessages uint64
+	prevBytesIn  uint64
+	prevShed     uint64
+	primed       bool
+}
+
+// Run executes the spec against a live gateway and returns the result.
+// The spec must already be validated (ParseSpec/LoadSpec do this).
+func Run(spec *Spec, opts Options) (*Result, error) {
+	addr := opts.Addr
+	if addr == "" {
+		addr = spec.Addr
+	}
+	if addr == "" {
+		return nil, fmt.Errorf("campaign: no gateway address (spec addr or Options.Addr)")
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	scrapeTimeout := 2 * time.Second
+	r := &runner{
+		spec:    spec,
+		addr:    addr,
+		timeout: time.Duration(spec.TimeoutMS) * time.Millisecond,
+		logf:    logf,
+		http:    &http.Client{Timeout: scrapeTimeout},
+	}
+
+	var artifacts []string
+	if opts.OutDir != "" {
+		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		jf, err := os.Create(filepath.Join(opts.OutDir, "session.jsonl"))
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		defer jf.Close()
+		cf, err := os.Create(filepath.Join(opts.OutDir, "session.csv"))
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		defer cf.Close()
+		r.jsonl = jf
+		cw := csv.NewWriter(cf)
+		// The campaign CSV is the stock session schema with a leading
+		// "phase" column — session.ReadCSV locates columns by name, so the
+		// stock readers still parse it.
+		if err := cw.Write(append([]string{"phase"}, session.CSVHeader()...)); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		cw.Flush()
+		r.csvw = cw
+		artifacts = append(artifacts, jf.Name(), cf.Name())
+	}
+
+	// Pre-flight: the gateway must answer /stats before the first phase.
+	if _, err := r.fetchStats(); err != nil {
+		return nil, fmt.Errorf("campaign: gateway %s not answering /stats: %w", addr, err)
+	}
+
+	res := &Result{
+		Name:      spec.Name,
+		Addr:      addr,
+		Seed:      spec.Seed,
+		Artifacts: artifacts,
+	}
+
+	// One sampler spans the campaign so the timeline is continuous across
+	// phase boundaries; each sample is tagged with the phase it landed in.
+	stopSample := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		t := time.NewTicker(time.Duration(spec.SampleIntervalMS) * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopSample:
+				return
+			case <-t.C:
+				r.sampleOnce()
+			}
+		}
+	}()
+
+	start := time.Now()
+	for i := range spec.Phases {
+		p := &spec.Phases[i]
+		rep, err := r.runPhase(p)
+		if err != nil {
+			close(stopSample)
+			sampleWG.Wait()
+			return nil, err
+		}
+		res.Phases = append(res.Phases, *rep)
+	}
+	close(stopSample)
+	sampleWG.Wait()
+
+	res.DurationSec = time.Since(start).Seconds()
+	r.mu.Lock()
+	res.Faults = r.faultLog
+	res.Samples = r.samples
+	r.mu.Unlock()
+	return res, nil
+}
+
+// runPhase drives one phase: envelope-controlled senders (plus trickling
+// holds for slowloris), the fault script, and start/end gateway
+// snapshots that become the report row.
+func (r *runner) runPhase(p *Phase) (*PhaseReport, error) {
+	r.setPhase(p.Name)
+	r.writeEvent(map[string]any{
+		"type": "phase-start", "phase": p.Name, "shape": string(p.Shape),
+		"usecase": p.UseCase, "duration_ms": p.DurationMS,
+	})
+	r.logf("campaign: phase %s: %s %s for %v", p.Name, p.Shape, p.UseCase, p.Duration())
+
+	snapStart, err := r.fetchStats()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: phase %s: %w", p.Name, err)
+	}
+
+	uc, err := workload.ParseUseCase(p.UseCase)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: phase %s: %v", p.Name, err)
+	}
+	sp := newSenderPool(r.addr, r.timeout, requestPool(uc, p.InvalidEvery, r.spec.SizeBytes, r.spec.Seed))
+
+	var lp *lorisPool
+	if p.Shape == ShapeSlowloris {
+		lp = newLorisPool(r.addr, workload.HTTPRequestSeeded(0, uc, r.spec.SizeBytes, r.spec.Seed),
+			time.Duration(p.TrickleIntervalMS)*time.Millisecond)
+	}
+
+	faultStop := make(chan struct{})
+	var faultWG sync.WaitGroup
+	if len(p.Faults) > 0 {
+		faultWG.Add(1)
+		go func() {
+			defer faultWG.Done()
+			r.faultScript(p, faultStop)
+		}()
+	}
+
+	// The envelope controller: every tick, resize the pools to the
+	// shape's width at this offset.
+	start := time.Now()
+	tick := time.NewTicker(50 * time.Millisecond)
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= p.Duration() {
+			break
+		}
+		if p.Shape == ShapeSlowloris {
+			lp.resize(p.WidthAt(elapsed))
+			sp.resize(p.BackgroundConns)
+		} else {
+			sp.resize(p.WidthAt(elapsed))
+		}
+		<-tick.C
+	}
+	tick.Stop()
+
+	close(faultStop)
+	sp.stop()
+	if lp != nil {
+		lp.stop()
+	}
+	faultWG.Wait()
+	activeDur := time.Since(start)
+
+	snapEnd, err := r.fetchStats()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: phase %s: %w", p.Name, err)
+	}
+
+	rep := buildPhaseReport(p, activeDur, sp, lp, snapStart, snapEnd, r.spec)
+	r.writeEvent(map[string]any{"type": "phase-end", "phase": p.Name, "report": rep})
+	r.logf("campaign: phase %s done: offered %.0f/s ok %.0f/s p99 %dus shed %d",
+		p.Name, rep.OfferedPerSec, rep.OKPerSec, rep.LatencyP99US, rep.Shed)
+	return rep, nil
+}
+
+// requestPool pre-generates the cycled message pool, mirroring
+// gateway.RunLoad's indices so seeded campaign traffic matches seeded
+// aonload traffic byte for byte.
+func requestPool(uc workload.UseCase, invalidEvery, size int, seed uint64) [][]byte {
+	const n = 64
+	pool := make([][]byte, n)
+	for i := range pool {
+		if invalidEvery > 0 && i%invalidEvery == invalidEvery-1 {
+			pool[i] = gateway.RawPost(uc, workload.InvalidSOAPMessageSeeded(i, size, seed))
+		} else {
+			pool[i] = workload.HTTPRequestSeeded(i, uc, size, seed)
+		}
+	}
+	return pool
+}
+
+// setPhase updates the label the sampler tags rows with.
+func (r *runner) setPhase(name string) {
+	r.mu.Lock()
+	r.curPhase = name
+	r.mu.Unlock()
+}
+
+// phase reads the current phase label.
+func (r *runner) phase() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.curPhase
+}
+
+// fetchStats pulls the gateway's cumulative /stats view.
+func (r *runner) fetchStats() (*gateway.Snapshot, error) {
+	resp, err := r.http.Get("http://" + r.addr + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /stats: %s", resp.Status)
+	}
+	var snap gateway.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// sampleOnce scrapes /stats and lands one phase-tagged windowed sample
+// in the timeline — the same delta idiom the fleet scraper uses, with
+// the gateway's own uptime as the monotonic axis.
+func (r *runner) sampleOnce() {
+	snap, err := r.fetchStats()
+	if err != nil {
+		return // a missed tick is not fatal; phase snapshots own liveness
+	}
+	tms := int64(snap.UptimeSec * 1000)
+	s := session.Sample{
+		TMS:          tms,
+		LatencyP50US: snap.Latency.P50US,
+		LatencyP99US: snap.Latency.P99US,
+	}
+	if c := snap.Counters; c != nil {
+		s.CPI = c.Derived.CPI
+		s.CacheMPI = c.Derived.CacheMPI
+		s.BrMPR = c.Derived.BrMPR
+		s.DerivedSource = c.DerivedSource
+		s.Goroutines = c.Runtime.Goroutines
+	}
+	if r.primed && tms > r.prevTMS {
+		s.WindowSec = float64(tms-r.prevTMS) / 1000
+		if snap.Messages >= r.prevMessages {
+			s.Messages = snap.Messages - r.prevMessages
+		}
+		if snap.BytesIn >= r.prevBytesIn {
+			s.BytesIn = snap.BytesIn - r.prevBytesIn
+		}
+		if snap.Shed >= r.prevShed {
+			s.Shed = snap.Shed - r.prevShed
+		}
+		if s.WindowSec > 0 {
+			s.MsgsPerSec = float64(s.Messages) / s.WindowSec
+		}
+	}
+	r.prevTMS, r.prevMessages, r.prevBytesIn, r.prevShed = tms, snap.Messages, snap.BytesIn, snap.Shed
+	r.primed = true
+
+	phase := r.phase()
+	r.writeEvent(map[string]any{"type": "sample", "phase": phase, "sample": s})
+	r.mu.Lock()
+	r.samples++
+	if r.csvw != nil {
+		r.csvw.Write(append([]string{phase}, session.CSVRecord(s)...))
+		r.csvw.Flush()
+	}
+	r.mu.Unlock()
+}
+
+// writeEvent appends one JSONL line, flushed through — the crash-safety
+// contract: every returned write is on disk.
+func (r *runner) writeEvent(ev map[string]any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.jsonl == nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	r.jsonl.Write(append(b, '\n'))
+}
+
+// sleepOrStop sleeps d unless stop closes first; reports whether the
+// caller should keep running.
+func sleepOrStop(stop <-chan struct{}, d time.Duration) bool {
+	select {
+	case <-stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// senderPool is the resizable open-loop sender set: the envelope
+// controller grows and shrinks it tick by tick, each sender owning one
+// keep-alive connection it redials on error.
+type senderPool struct {
+	addr    string
+	timeout time.Duration
+	pool    [][]byte
+	next    atomic.Uint64
+	stops   []chan struct{} // controller goroutine only
+	wg      sync.WaitGroup
+
+	sent, ok, shed, httpErr, netErr         atomic.Uint64
+	forwarded, match, routedErr, valid      atomic.Uint64
+	translated, parseErr, bytesOut, bytesIn atomic.Uint64
+	hist                                    lhist.Hist
+}
+
+func newSenderPool(addr string, timeout time.Duration, pool [][]byte) *senderPool {
+	return &senderPool{addr: addr, timeout: timeout, pool: pool}
+}
+
+// resize brings the live sender count to n. Called from the envelope
+// controller only.
+func (sp *senderPool) resize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	for len(sp.stops) < n {
+		stop := make(chan struct{})
+		sp.stops = append(sp.stops, stop)
+		sp.wg.Add(1)
+		go sp.run(stop)
+	}
+	for len(sp.stops) > n {
+		close(sp.stops[len(sp.stops)-1])
+		sp.stops = sp.stops[:len(sp.stops)-1]
+	}
+}
+
+// stop winds the pool down and joins every sender.
+func (sp *senderPool) stop() {
+	sp.resize(0)
+	sp.wg.Wait()
+}
+
+// run is one sender: dial, cycle the shared request pool, count
+// outcomes, redial on error.
+func (sp *senderPool) run(stop chan struct{}) {
+	defer sp.wg.Done()
+	var cl *gateway.Client
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if cl == nil {
+			c, err := gateway.Dial(sp.addr)
+			if err != nil {
+				sp.netErr.Add(1)
+				if !sleepOrStop(stop, 50*time.Millisecond) {
+					return
+				}
+				continue
+			}
+			cl = c
+		}
+		raw := sp.pool[sp.next.Add(1)%uint64(len(sp.pool))]
+		t0 := time.Now()
+		resp, err := cl.Do(raw, sp.timeout)
+		if err != nil {
+			sp.netErr.Add(1)
+			cl.Close()
+			cl = nil
+			continue
+		}
+		sp.sent.Add(1)
+		sp.bytesOut.Add(uint64(len(raw)))
+		sp.bytesIn.Add(uint64(resp.Bytes))
+		switch {
+		case resp.Status == 200:
+			sp.ok.Add(1)
+			sp.hist.Observe(time.Since(t0))
+			switch resp.Outcome {
+			case "forwarded":
+				sp.forwarded.Add(1)
+			case "match":
+				sp.match.Add(1)
+			case "error":
+				sp.routedErr.Add(1)
+			case "valid":
+				sp.valid.Add(1)
+			case "translated":
+				sp.translated.Add(1)
+			}
+		case resp.Status == 503:
+			sp.shed.Add(1)
+		default:
+			sp.httpErr.Add(1)
+			if resp.Outcome == "parse-error" || resp.Status == 400 {
+				sp.parseErr.Add(1)
+			}
+		}
+	}
+}
+
+// lorisPool holds slow-loris connections: each trickles one valid
+// request in small chunks paced slower than the gateway's idle timeout,
+// so the gateway's read deadline reaps the connection mid-request. A
+// write or read error is counted as a reap and the loris redials.
+type lorisPool struct {
+	addr     string
+	req      []byte
+	interval time.Duration
+	stops    []chan struct{} // controller goroutine only
+	wg       sync.WaitGroup
+
+	held, reaped, completed atomic.Uint64
+}
+
+// lorisChunk is the per-drip byte count — small enough that a 5 KB
+// request takes minutes at the default pace.
+const lorisChunk = 64
+
+func newLorisPool(addr string, req []byte, interval time.Duration) *lorisPool {
+	return &lorisPool{addr: addr, req: req, interval: interval}
+}
+
+func (lp *lorisPool) resize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	for len(lp.stops) < n {
+		stop := make(chan struct{})
+		lp.stops = append(lp.stops, stop)
+		lp.wg.Add(1)
+		go lp.run(stop)
+	}
+	for len(lp.stops) > n {
+		close(lp.stops[len(lp.stops)-1])
+		lp.stops = lp.stops[:len(lp.stops)-1]
+	}
+}
+
+func (lp *lorisPool) stop() {
+	lp.resize(0)
+	lp.wg.Wait()
+}
+
+func (lp *lorisPool) run(stop chan struct{}) {
+	defer lp.wg.Done()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", lp.addr, 2*time.Second)
+		if err != nil {
+			if !sleepOrStop(stop, 100*time.Millisecond) {
+				return
+			}
+			continue
+		}
+		lp.held.Add(1)
+		reaped := false
+		for off := 0; off < len(lp.req); off += lorisChunk {
+			end := off + lorisChunk
+			if end > len(lp.req) {
+				end = len(lp.req)
+			}
+			if _, err := conn.Write(lp.req[off:end]); err != nil {
+				reaped = true
+				break
+			}
+			if end < len(lp.req) {
+				if !sleepOrStop(stop, lp.interval) {
+					conn.Close()
+					return
+				}
+			}
+		}
+		if !reaped {
+			// The whole request escaped the trickle (idle timeout longer
+			// than the drip): read the answer so the hold was still real.
+			conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			if _, err := conn.Read(make([]byte, 1)); err != nil {
+				reaped = true
+			} else {
+				lp.completed.Add(1)
+			}
+		}
+		if reaped {
+			lp.reaped.Add(1)
+		}
+		conn.Close()
+	}
+}

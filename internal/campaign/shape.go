@@ -1,0 +1,87 @@
+package campaign
+
+import (
+	"math"
+	"time"
+)
+
+// WidthAt evaluates the phase's traffic envelope: how many concurrent
+// senders should be live at `elapsed` since phase start. Pure function
+// of the phase and the offset, so the schedule is unit-testable without
+// a gateway.
+//
+//   - constant:  Conns for the whole phase.
+//   - ramp:      linear Conns → ConnsTo across the duration.
+//   - diurnal:   half-cosine swell Conns → ConnsTo → Conns — one
+//     compressed day in a phase.
+//   - flash:     BurstConns while elapsed < BurstMS, then exponential
+//     decay back toward Conns with time constant DecayMS.
+//   - slowloris: Conns held tricklers (the background senders are a
+//     separate pool, see Phase.BackgroundConns).
+func (p *Phase) WidthAt(elapsed time.Duration) int {
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	d := p.Duration()
+	if elapsed > d {
+		elapsed = d
+	}
+	t := elapsed.Seconds()
+	total := d.Seconds()
+	switch p.Shape {
+	case ShapeRamp:
+		if total <= 0 {
+			return p.Conns
+		}
+		frac := t / total
+		return roundWidth(float64(p.Conns) + (float64(p.ConnsTo)-float64(p.Conns))*frac)
+	case ShapeDiurnal:
+		if total <= 0 {
+			return p.Conns
+		}
+		// (1-cos)/2 runs 0→1→0 over the phase: trough at the edges,
+		// peak (ConnsTo) at the midpoint.
+		swell := (1 - math.Cos(2*math.Pi*t/total)) / 2
+		return roundWidth(float64(p.Conns) + (float64(p.ConnsTo)-float64(p.Conns))*swell)
+	case ShapeFlash:
+		burst := float64(p.BurstMS) / 1000
+		if t < burst {
+			return p.BurstConns
+		}
+		decay := float64(p.DecayMS) / 1000
+		if decay <= 0 {
+			return p.Conns
+		}
+		excess := float64(p.BurstConns-p.Conns) * math.Exp(-(t-burst)/decay)
+		return roundWidth(float64(p.Conns) + excess)
+	default: // constant, slowloris
+		return p.Conns
+	}
+}
+
+// roundWidth rounds to nearest and floors at 1 — a live phase never
+// drops to zero senders.
+func roundWidth(w float64) int {
+	n := int(math.Round(w))
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// PeakWidth scans the envelope for its maximum — reports use it as the
+// "peak conns" column, and the runner sizes its sender pool from it.
+func (p *Phase) PeakWidth() int {
+	switch p.Shape {
+	case ShapeConstant, ShapeSlowloris:
+		return p.Conns
+	case ShapeFlash:
+		return p.BurstConns
+	case ShapeRamp, ShapeDiurnal:
+		if p.ConnsTo > p.Conns {
+			return p.ConnsTo
+		}
+		return p.Conns
+	}
+	return p.Conns
+}

@@ -1,0 +1,35 @@
+package capacity
+
+import "strings"
+
+// seedTable holds the built-in per-use-case stage-demand seeds: rough
+// loopback service times for the paper's 5 KB message, measured once on
+// the reference development box and rounded. They exist so offline
+// what-if modeling (aoncap, campaign pre-flight) has a starting point per
+// use case before any session or calibration artifact exists — a seed,
+// not a measurement; replace with -csv/-calibration data when available.
+//
+// The ordering tells the paper's story: FR touches no XML, DPI scans
+// bytes, AUTH hashes them, CBR parses + routes, XJ parses + re-emits,
+// SV parses + validates.
+var seedTable = map[string]StageDemands{
+	"FR":   {Read: 40e-6, Parse: 25e-6, Process: 5e-6, Write: 15e-6},
+	"CBR":  {Read: 40e-6, Parse: 25e-6, Process: 350e-6, Write: 15e-6},
+	"SV":   {Read: 40e-6, Parse: 25e-6, Process: 700e-6, Write: 15e-6},
+	"DPI":  {Read: 40e-6, Parse: 25e-6, Process: 120e-6, Write: 15e-6},
+	"AUTH": {Read: 40e-6, Parse: 25e-6, Process: 90e-6, Write: 15e-6},
+	"XJ":   {Read: 40e-6, Parse: 25e-6, Process: 520e-6, Write: 20e-6},
+}
+
+// SeedDemands returns the built-in stage-demand seed for a use-case name
+// (case-insensitive), and whether one exists.
+func SeedDemands(ucName string) (StageDemands, bool) {
+	d, ok := seedTable[strings.ToUpper(strings.TrimSpace(ucName))]
+	return d, ok
+}
+
+// SeededUseCases lists the use-case names with built-in demand seeds, in
+// the paper's network-I/O→CPU-intensive order.
+func SeededUseCases() []string {
+	return []string{"FR", "CBR", "SV", "DPI", "AUTH", "XJ"}
+}

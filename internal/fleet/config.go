@@ -22,6 +22,8 @@ import (
 	"os"
 	"strconv"
 	"time"
+
+	"repro/internal/campaign"
 )
 
 // Node roles. Backends start first, then gateways, then load — the
@@ -91,6 +93,12 @@ type Config struct {
 
 	Nodes []NodeConfig `json:"nodes"`
 	Sweep SweepConfig  `json:"sweep"`
+	// Campaign embeds a scenario campaign spec (internal/campaign): the
+	// fleet launches the topology, then drives the phased scenario
+	// against its first gateway instead of the connection sweep. The
+	// spec's addr and (when empty) backends list are filled from the
+	// topology at run time. Mutually exclusive with sweep.conns.
+	Campaign *campaign.Spec `json:"campaign,omitempty"`
 }
 
 // LoadFile reads and validates a fleet config.
@@ -170,6 +178,13 @@ func (c *Config) Validate() error {
 	if gateways == 0 {
 		return fmt.Errorf("fleet: topology has no gateway node")
 	}
+	if c.Campaign != nil && len(c.Sweep.Conns) > 0 {
+		return fmt.Errorf("fleet: config sets both sweep.conns and campaign — pick one load driver")
+	}
+	// The campaign spec itself is validated in RunCampaign, after the
+	// coordinator has injected the topology's gateway and backend
+	// addresses (fault steps are checked against the backends that will
+	// actually serve them).
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/gateway"
 	"repro/internal/workload"
 )
@@ -31,6 +32,8 @@ type Coordinator struct {
 	scrapeDone chan struct{}
 
 	points []PointReport
+
+	campaignRes *campaign.Result
 
 	// Logf receives progress lines (default os.Stderr).
 	Logf func(format string, args ...any)

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/gateway"
 	"repro/internal/session"
 	"repro/internal/upstream"
@@ -35,10 +36,24 @@ func TestConfigValidateDefaults(t *testing.T) {
 		{Nodes: []NodeConfig{{Role: "gateway"}}},                                                                 // no addr
 		{Nodes: []NodeConfig{{Role: "widget", Addr: "x:1"}}},                                                     // bad role
 		{Nodes: []NodeConfig{{Role: "backend", Addr: "x:1", Endpoint: "cache"}, {Role: "gateway", Addr: "x:2"}}}, // bad endpoint
+		{Nodes: []NodeConfig{{Role: "gateway", Addr: "x:1"}}, // sweep and campaign both set
+			Sweep:    SweepConfig{Conns: []int{1}},
+			Campaign: &campaign.Spec{Phases: []campaign.Phase{{DurationMS: 100, Conns: 1}}}},
 	} {
 		if err := bad.Validate(); err == nil {
 			t.Fatalf("config %+v validated, want error", bad)
 		}
+	}
+
+	// A campaign without a sweep validates; the embedded spec is only
+	// checked at RunCampaign time (after backend injection), so even a
+	// deliberately broken one passes here.
+	withCampaign := Config{
+		Nodes:    []NodeConfig{{Role: "gateway", Addr: "x:1"}},
+		Campaign: &campaign.Spec{Phases: []campaign.Phase{{Shape: "sawtooth"}}},
+	}
+	if err := withCampaign.Validate(); err != nil {
+		t.Fatalf("campaign-only config rejected: %v", err)
 	}
 }
 
@@ -195,5 +210,113 @@ func TestFleetAttachCampaign(t *testing.T) {
 	}
 	if st, err := os.Stat(filepath.Join(outDir, ReportName)); err != nil || st.Size() == 0 {
 		t.Fatalf("report file missing or empty (err=%v)", err)
+	}
+}
+
+// TestFleetScenarioCampaign runs a topology whose config carries a
+// scenario campaign instead of a sweep: the coordinator injects the
+// attached gateway and backend addresses into the spec, the fault step
+// lands on the live backend's /fault endpoint, and the per-phase report
+// artifacts land next to the fleet session.
+func TestFleetScenarioCampaign(t *testing.T) {
+	t.Setenv(gateway.ForceRuntimeOnlyEnv, "1")
+
+	order, err := upstream.StartBackend("127.0.0.1:0", upstream.BackendConfig{Name: "order"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer order.Close()
+
+	srv, err := gateway.New(gateway.Config{
+		UseCase:    workload.FR,
+		Workers:    2,
+		TraceEvery: 1,
+		Upstream:   upstream.Config{Order: order.Addr().String()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	one := 1.0
+	outDir := t.TempDir()
+	cfg := &Config{
+		OutDir:           outDir,
+		ScrapeIntervalMS: 20,
+		Nodes: []NodeConfig{
+			{Role: RoleBackend, ID: "b-order", Addr: order.Addr().String(), Endpoint: "order", Attach: true},
+			{Role: RoleGateway, ID: "gw0", Addr: srv.Addr().String(), Attach: true},
+		},
+		Campaign: &campaign.Spec{
+			Name:             "fleet-e2e",
+			SampleIntervalMS: 50,
+			TimeoutMS:        3000,
+			Phases: []campaign.Phase{
+				{Name: "steady", Shape: campaign.ShapeConstant, DurationMS: 300, Conns: 2},
+				{Name: "storm", Shape: campaign.ShapeRamp, DurationMS: 400, Conns: 1, ConnsTo: 3,
+					Faults: []campaign.FaultStep{
+						{AtMS: 50, Backend: 0, Fault: upstream.FaultSpec{ErrorRate: &one}},
+						{AtMS: 250, Backend: 0, Fault: upstream.FaultSpec{Clear: true}},
+					}},
+			},
+		},
+	}
+	co, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co.Logf = t.Logf
+	if err := co.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer co.Shutdown()
+
+	if err := co.RunCampaign(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := co.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	res := co.CampaignResult()
+	if res == nil || len(res.Phases) != 2 {
+		t.Fatalf("campaign result missing or wrong: %+v", res)
+	}
+	// The spec's backends list was filled from the topology, so the
+	// fault storm reached the live backend.
+	if len(cfg.Campaign.Backends) != 1 || cfg.Campaign.Backends[0] != order.Addr().String() {
+		t.Fatalf("backends not injected from topology: %v", cfg.Campaign.Backends)
+	}
+	if len(res.Faults) != 2 || res.Faults[0].Err != "" || res.Faults[0].State == nil || !res.Faults[0].State.Active {
+		t.Fatalf("fault storm not acknowledged: %+v", res.Faults)
+	}
+	if res.Phases[0].OK == 0 {
+		t.Fatalf("steady phase did no work: %+v", res.Phases[0])
+	}
+
+	// Artifacts: campaign report + result beside the fleet session, and
+	// the runner's phase-tagged session under the campaign subdir.
+	for _, name := range []string{CampaignReportName, CampaignResultName,
+		filepath.Join(CampaignDirName, "session.csv"), filepath.Join(CampaignDirName, "session.jsonl")} {
+		p := filepath.Join(outDir, name)
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("campaign artifact %s missing or empty (err=%v)", p, err)
+		}
+	}
+	report := co.CampaignReport()
+	for _, want := range []string{"steady", "storm", "fault log"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("campaign report missing %q:\n%s", want, report)
+		}
+	}
+	// The fleet's own cross-node session ran alongside the campaign.
+	if co.Merger().Len() == 0 {
+		t.Fatal("fleet session recorded no samples during the campaign")
 	}
 }

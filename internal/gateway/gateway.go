@@ -618,8 +618,13 @@ func (s *Server) process(j *job) response {
 		}
 	} else {
 		// In-place mode (no backend for this route): synthesize the
-		// routing verdict, the PR 1 behavior.
-		body := fmt.Sprintf(`{"usecase":%q,"outcome":%q,"route":%q}`, uc, out, route)
+		// routing verdict, the PR 1 behavior. XJ answers with its own
+		// payload — the pipeline already rewrote req.Body to the
+		// translated JSON document.
+		body := []byte(fmt.Sprintf(`{"usecase":%q,"outcome":%q,"route":%q}`, uc, out, route))
+		if out == OutTranslated {
+			body = req.Body
+		}
 		resp = &httpmsg.Response{
 			Status: 200,
 			Headers: []httpmsg.Header{
@@ -627,7 +632,7 @@ func (s *Server) process(j *job) response {
 				{Name: RouteHeader, Value: route},
 				{Name: "X-AON-Outcome", Value: out.String()},
 			},
-			Body: []byte(body),
+			Body: body,
 		}
 	}
 	s.Metrics.Done(out, uc, time.Since(j.start))
@@ -751,6 +756,7 @@ func formatError(status int, msg string, connClose bool) []byte {
 // plus the stage-trace and sampling-session sections when enabled.
 func (s *Server) Snapshot() Snapshot {
 	snap := s.Metrics.Snapshot()
+	snap.Workers = s.Workers()
 	if s.fwd != nil {
 		snap.Upstream = s.fwd.Snapshot()
 	}

@@ -28,7 +28,7 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{c: c, br: bufio.NewReaderSize(c, 32 << 10)}, nil
+	return &Client{c: c, br: bufio.NewReaderSize(c, 32<<10)}, nil
 }
 
 // Close tears the connection down.
@@ -127,6 +127,10 @@ type LoadConfig struct {
 	// through (default 64): generation stays off the hot path while
 	// caches still see varied content.
 	Pool int
+	// Seed perturbs the deterministic message generators (0 = the legacy
+	// stream), so distinct campaign runs can drive distinct but
+	// reproducible traffic.
+	Seed uint64
 }
 
 // Report is the load generator's final accounting, emitted as JSON by
@@ -145,6 +149,7 @@ type Report struct {
 	Match       uint64       `json:"routed_match"`
 	RoutedError uint64       `json:"routed_error"`
 	Valid       uint64       `json:"validation_ok"`
+	Translated  uint64       `json:"translated"`
 	ParseErrors uint64       `json:"parse_errors"`
 	BytesOut    uint64       `json:"bytes_out"`
 	BytesIn     uint64       `json:"bytes_in"`
@@ -179,10 +184,10 @@ func RunLoad(cfg LoadConfig) (Report, error) {
 	pool := make([][]byte, cfg.Pool)
 	for i := range pool {
 		if cfg.InvalidEvery > 0 && i%cfg.InvalidEvery == cfg.InvalidEvery-1 {
-			body := workload.InvalidSOAPMessageSized(i, cfg.Size)
-			pool[i] = rawPost(cfg.UseCase, body)
+			body := workload.InvalidSOAPMessageSeeded(i, cfg.Size, cfg.Seed)
+			pool[i] = RawPost(cfg.UseCase, body)
 		} else {
-			pool[i] = workload.HTTPRequestSized(i, cfg.UseCase, cfg.Size)
+			pool[i] = workload.HTTPRequestSeeded(i, cfg.UseCase, cfg.Size, cfg.Seed)
 		}
 	}
 
@@ -249,6 +254,8 @@ func RunLoad(cfg LoadConfig) (Report, error) {
 						local.RoutedError++
 					case "valid":
 						local.Valid++
+					case "translated":
+						local.Translated++
 					}
 				case resp.Status == 503:
 					local.Shed++
@@ -275,8 +282,10 @@ func RunLoad(cfg LoadConfig) (Report, error) {
 	return rep, nil
 }
 
-// rawPost wraps an arbitrary body in the standard AON POST.
-func rawPost(uc workload.UseCase, body []byte) []byte {
+// RawPost wraps an arbitrary body in the standard AON POST — the same
+// framing workload.HTTPRequest emits, for callers (the campaign runner,
+// invalid-message pools) that bring their own body.
+func RawPost(uc workload.UseCase, body []byte) []byte {
 	return httpmsg.FormatRequest(&httpmsg.Request{
 		Method: "POST",
 		Target: fmt.Sprintf("/service/%s", uc),
@@ -301,6 +310,7 @@ func mergeReport(dst, src *Report) {
 	dst.Match += src.Match
 	dst.RoutedError += src.RoutedError
 	dst.Valid += src.Valid
+	dst.Translated += src.Translated
 	dst.ParseErrors += src.ParseErrors
 	dst.BytesOut += src.BytesOut
 	dst.BytesIn += src.BytesIn

@@ -64,6 +64,7 @@ type Metrics struct {
 	RoutedError  atomic.Uint64 // routed to the error endpoint
 	ValidationOK atomic.Uint64 // SV: schema-valid messages
 	Forwarded    atomic.Uint64 // FR/DPI/AUTH: proxied to the intended endpoint
+	Translated   atomic.Uint64 // XJ: messages rewritten XML→JSON
 	ParseErrors  atomic.Uint64 // malformed HTTP/XML (400s)
 	Shed         atomic.Uint64 // admission control rejections (503s)
 	UpstreamErrs atomic.Uint64 // forwarding failures answered 502/504
@@ -101,31 +102,38 @@ func (m *Metrics) Done(outcome Outcome, uc workload.UseCase, d time.Duration) {
 		m.ValidationOK.Add(1)
 	case OutParseError:
 		m.ParseErrors.Add(1)
+	case OutTranslated:
+		m.Translated.Add(1)
 	}
 }
 
 // Snapshot is the JSON shape served on /stats and printed at shutdown.
 type Snapshot struct {
-	UptimeSec    float64      `json:"uptime_sec"`
-	Conns        uint64       `json:"conns"`
-	ActiveConns  int64        `json:"active_conns"`
-	Messages     uint64       `json:"messages"`
-	BytesIn      uint64       `json:"bytes_in"`
-	BytesOut     uint64       `json:"bytes_out"`
-	RoutedMatch  uint64       `json:"routed_match"`
-	RoutedError  uint64       `json:"routed_error"`
-	ValidationOK uint64       `json:"validation_ok"`
-	Forwarded    uint64       `json:"forwarded"`
-	ParseErrors  uint64       `json:"parse_errors"`
-	Shed         uint64       `json:"shed_503"`
-	UpstreamErrs uint64       `json:"upstream_errors"`
-	IdleTimeouts uint64       `json:"idle_timeouts"`
-	MsgsPerSec   float64      `json:"msgs_per_sec"`  // lifetime average
-	LastSecMsgs  uint64       `json:"last_sec_msgs"` // most recent full second
-	MbpsIn       float64      `json:"mbps_in"`       // lifetime average
-	Latency      HistSnapshot `json:"latency"`
+	UptimeSec    float64 `json:"uptime_sec"`
+	Conns        uint64  `json:"conns"`
+	ActiveConns  int64   `json:"active_conns"`
+	Messages     uint64  `json:"messages"`
+	BytesIn      uint64  `json:"bytes_in"`
+	BytesOut     uint64  `json:"bytes_out"`
+	RoutedMatch  uint64  `json:"routed_match"`
+	RoutedError  uint64  `json:"routed_error"`
+	ValidationOK uint64  `json:"validation_ok"`
+	Forwarded    uint64  `json:"forwarded"`
+	Translated   uint64  `json:"translated"`
+	ParseErrors  uint64  `json:"parse_errors"`
+	Shed         uint64  `json:"shed_503"`
+	UpstreamErrs uint64  `json:"upstream_errors"`
+	IdleTimeouts uint64  `json:"idle_timeouts"`
+	MsgsPerSec   float64 `json:"msgs_per_sec"`  // lifetime average
+	LastSecMsgs  uint64  `json:"last_sec_msgs"` // most recent full second
+	MbpsIn       float64 `json:"mbps_in"`       // lifetime average
+	// Workers is the current worker-pool width (filled by
+	// Server.Snapshot; adaptive mode resizes it at runtime). Campaign and
+	// fleet scrapers seed the capacity model's station width from it.
+	Workers int          `json:"workers"`
+	Latency HistSnapshot `json:"latency"`
 	// LatencyByUseCase carries one latency histogram per use case that
-	// served at least one message, keyed "FR"/"CBR"/"SV"/"DPI"/"AUTH".
+	// served at least one message, keyed "FR"/"CBR"/"SV"/"DPI"/"AUTH"/"XJ".
 	LatencyByUseCase map[string]HistSnapshot `json:"latency_by_usecase,omitempty"`
 	// Upstream is the per-backend forwarding view (nil when the gateway
 	// answers in place — no backends configured).
@@ -168,22 +176,23 @@ func (m *Metrics) Snapshot() Snapshot {
 		byUC[workload.UseCase(i).String()] = s
 	}
 	return Snapshot{
-		UptimeSec:    up,
-		Conns:        m.Conns.Load(),
-		ActiveConns:  m.ActiveConns.Load(),
-		Messages:     msgs,
-		BytesIn:      in,
-		BytesOut:     m.BytesOut.Load(),
-		RoutedMatch:  m.RoutedMatch.Load(),
-		RoutedError:  m.RoutedError.Load(),
-		ValidationOK: m.ValidationOK.Load(),
-		Forwarded:    m.Forwarded.Load(),
-		ParseErrors:  m.ParseErrors.Load(),
-		Shed:         m.Shed.Load(),
-		UpstreamErrs: m.UpstreamErrs.Load(),
-		IdleTimeouts: m.IdleTimeouts.Load(),
-		MsgsPerSec:   float64(msgs) / up,
-		LastSecMsgs:  m.rate.lastSecond(now),
+		UptimeSec:        up,
+		Conns:            m.Conns.Load(),
+		ActiveConns:      m.ActiveConns.Load(),
+		Messages:         msgs,
+		BytesIn:          in,
+		BytesOut:         m.BytesOut.Load(),
+		RoutedMatch:      m.RoutedMatch.Load(),
+		RoutedError:      m.RoutedError.Load(),
+		ValidationOK:     m.ValidationOK.Load(),
+		Forwarded:        m.Forwarded.Load(),
+		Translated:       m.Translated.Load(),
+		ParseErrors:      m.ParseErrors.Load(),
+		Shed:             m.Shed.Load(),
+		UpstreamErrs:     m.UpstreamErrs.Load(),
+		IdleTimeouts:     m.IdleTimeouts.Load(),
+		MsgsPerSec:       float64(msgs) / up,
+		LastSecMsgs:      m.rate.lastSecond(now),
 		MbpsIn:           float64(in) * 8 / 1e6 / up,
 		Latency:          m.Latency.Snapshot(),
 		LatencyByUseCase: byUC,

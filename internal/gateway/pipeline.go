@@ -3,6 +3,7 @@ package gateway
 import (
 	"encoding/hex"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/dpi"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/perf/trace"
 	"repro/internal/wcrypto"
 	"repro/internal/workload"
+	"repro/internal/xj"
 	"repro/internal/xmldom"
 	"repro/internal/xpath"
 	"repro/internal/xsd"
@@ -32,6 +34,10 @@ const (
 	OutValid
 	// OutParseError: malformed HTTP or XML; the client gets a 400.
 	OutParseError
+	// OutTranslated: XJ — the XML body was rewritten as JSON; the
+	// translated document rides onward to the order endpoint (or back to
+	// the client in in-place mode).
+	OutTranslated
 )
 
 func (o Outcome) String() string {
@@ -46,6 +52,8 @@ func (o Outcome) String() string {
 		return "valid"
 	case OutParseError:
 		return "parse-error"
+	case OutTranslated:
+		return "translated"
 	}
 	return "invalid"
 }
@@ -58,7 +66,7 @@ const RouteHeader = "X-AON-Route"
 // to: "order" for the intended endpoint, "error" otherwise.
 func routeOf(o Outcome) string {
 	switch o {
-	case OutForwarded, OutMatch, OutValid:
+	case OutForwarded, OutMatch, OutValid, OutTranslated:
 		return "order"
 	default:
 		return "error"
@@ -158,6 +166,34 @@ func (p *Pipeline) Process(uc workload.UseCase, req *httpmsg.Request) Outcome {
 			return OutForwarded
 		}
 		return OutNoMatch
+	case workload.XJ:
+		doc, err := xmldom.Parse(req.Body)
+		if err != nil {
+			return OutParseError
+		}
+		translated, err := xj.Translate(doc)
+		if err != nil {
+			return OutParseError
+		}
+		// Protocol translation rewrites the message in place: the JSON
+		// body (and its headers) ride onward through forwarding, or back
+		// to the client in in-place mode.
+		req.Body = translated
+		setHeader(req, "Content-Type", "application/json")
+		setHeader(req, "Content-Length", strconv.Itoa(len(translated)))
+		return OutTranslated
 	}
 	return OutParseError
+}
+
+// setHeader replaces the named header's value in place (appending when
+// absent), keeping a rewritten request self-consistent.
+func setHeader(req *httpmsg.Request, name, value string) {
+	for i := range req.Headers {
+		if strings.EqualFold(req.Headers[i].Name, name) {
+			req.Headers[i].Value = value
+			return
+		}
+	}
+	req.Headers = append(req.Headers, httpmsg.Header{Name: name, Value: value})
 }

@@ -43,8 +43,8 @@ func (s Stage) String() string {
 	return stageNames[s]
 }
 
-// numTraceUseCases covers FR/CBR/SV plus the DPI/AUTH extensions.
-const numTraceUseCases = 5
+// numTraceUseCases covers FR/CBR/SV plus the DPI/AUTH/XJ extensions.
+const numTraceUseCases = 6
 
 // traceSlotControl is the extra tracer slot for control-plane GETs
 // (/stats, /timeline): they bypass the worker pool, but untraced they

@@ -31,8 +31,12 @@ type BackendConfig struct {
 	Delay time.Duration
 	// FailFirst makes the server close the connection without responding
 	// for the first N requests — a fault-injection knob for the
-	// retry-then-success path.
+	// retry-then-success path. It seeds the runtime fail-next budget,
+	// which POST /fault can replenish later.
 	FailFirst int
+	// Seed keys the deterministic error-rate draw (see FaultSpec), so a
+	// campaign rerun with the same seed errors the same requests.
+	Seed uint64
 }
 
 // BackendServer is the minimal order/error endpoint of the paper's
@@ -48,11 +52,19 @@ type BackendServer struct {
 	start time.Time
 
 	Requests      atomic.Uint64 // messages answered
-	Failed        atomic.Uint64 // connections dropped by FailFirst
+	Failed        atomic.Uint64 // connections dropped by fault injection
+	Errored       atomic.Uint64 // injected 500s served
 	StatsRequests atomic.Uint64 // GET /stats scrapes answered
+	FaultPosts    atomic.Uint64 // POST /fault control requests applied
 	BytesIn       atomic.Uint64
 	BytesOut      atomic.Uint64
 	seq           atomic.Uint64 // request sequencing incl. injected failures
+
+	// Runtime fault state, scripted over POST /fault (see FaultSpec).
+	failNext     atomic.Int64  // remaining requests to drop
+	errRateBits  atomic.Uint64 // math.Float64bits of the injected-500 rate
+	extraDelayNS atomic.Int64  // added per-response latency
+	downUntilNS  atomic.Int64  // outage window end (UnixNano; 0 = none)
 
 	// Latency is the per-message service histogram (framing complete →
 	// response written, the configured Delay included).
@@ -77,6 +89,7 @@ func StartBackend(addr string, cfg BackendConfig) (*BackendServer, error) {
 		return nil, err
 	}
 	s := &BackendServer{cfg: cfg, ln: ln, start: time.Now(), conns: map[net.Conn]struct{}{}}
+	s.failNext.Store(int64(cfg.FailFirst))
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -129,22 +142,30 @@ func (s *BackendServer) handle(c net.Conn) {
 	}()
 	br := bufio.NewReaderSize(c, 32<<10)
 	for {
-		reqLine, n, err := discardRequest(br)
+		reqLine, body, n, err := frameRequest(br, isControlPost)
 		if err != nil {
 			return
 		}
 		s.BytesIn.Add(uint64(n))
-		if method, target, _ := strings.Cut(reqLine, " "); method == "GET" {
-			// Control plane: /stats bypasses fault injection, delay, and
-			// the message counters, so observability survives a fault storm
-			// — mirroring the gateway's GET fast path.
-			path, _, _ := strings.Cut(target, " ")
-			path = strings.TrimSuffix(strings.TrimSpace(path), "/")
+		method, target, _ := strings.Cut(reqLine, " ")
+		path, _, _ := strings.Cut(target, " ")
+		path = strings.TrimSuffix(strings.TrimSpace(path), "/")
+		if method == "GET" || body != nil {
+			// Control plane: /stats and /fault bypass fault injection,
+			// delay, and the message counters, so observability and fault
+			// scripting survive a fault storm — mirroring the gateway's
+			// GET fast path.
 			var resp []byte
-			if strings.HasSuffix(path, "stats") {
+			switch {
+			case method == "GET" && strings.HasSuffix(path, "stats"):
 				s.StatsRequests.Add(1)
 				resp = jsonResponse(200, "OK", s.Stats())
-			} else {
+			case method == "GET" && strings.HasSuffix(path, "fault"):
+				resp = jsonResponse(200, "OK", s.FaultState())
+			case body != nil:
+				s.FaultPosts.Add(1)
+				resp = s.handleFault(body)
+			default:
 				resp = jsonResponse(404, "Not Found", map[string]string{"error": "not found"})
 			}
 			w, err := c.Write(resp)
@@ -156,24 +177,44 @@ func (s *BackendServer) handle(c net.Conn) {
 		}
 		t0 := time.Now()
 		seq := s.seq.Add(1)
-		if int(seq) <= s.cfg.FailFirst {
+		if s.faultDrop(seq) {
 			// Injected fault: drop the connection mid-exchange so the
 			// forwarder sees an IO error, not an HTTP status.
 			s.Failed.Add(1)
 			return
 		}
-		if s.cfg.Delay > 0 {
-			time.Sleep(s.cfg.Delay)
+		if delay := s.cfg.Delay + time.Duration(s.extraDelayNS.Load()); delay > 0 {
+			time.Sleep(delay)
 		}
-		resp := s.response(seq)
+		var resp []byte
+		if s.errorHit(seq) {
+			// Injected error: a served 500, so the forwarder sees an HTTP
+			// failure rather than an IO error.
+			s.Errored.Add(1)
+			resp = jsonResponse(500, "Internal Server Error",
+				map[string]any{"backend": s.cfg.Name, "seq": seq, "error": "injected"})
+		} else {
+			resp = s.response(seq)
+			s.Requests.Add(1)
+		}
 		w, err := c.Write(resp)
 		s.BytesOut.Add(uint64(w))
-		s.Requests.Add(1)
 		s.Latency.Observe(time.Since(t0))
 		if err != nil {
 			return
 		}
 	}
+}
+
+// isControlPost marks the requests whose bodies frameRequest captures
+// rather than discards: the POST /fault control spec.
+func isControlPost(reqLine string, clen int) bool {
+	method, target, _ := strings.Cut(reqLine, " ")
+	if method != "POST" || clen > 8<<10 {
+		return false
+	}
+	path, _, _ := strings.Cut(target, " ")
+	return strings.HasSuffix(strings.TrimSuffix(strings.TrimSpace(path), "/"), "fault")
 }
 
 // BackendStats is the GET /stats JSON shape — the backend's
@@ -187,31 +228,38 @@ type BackendStats struct {
 	UptimeSec     float64        `json:"uptime_sec"`
 	Requests      uint64         `json:"requests"`
 	Dropped       uint64         `json:"dropped"`
+	Errored       uint64         `json:"errored"`
 	StatsRequests uint64         `json:"stats_requests"`
+	FaultPosts    uint64         `json:"fault_posts"`
 	BytesIn       uint64         `json:"bytes_in"`
 	BytesOut      uint64         `json:"bytes_out"`
 	RespBytes     int            `json:"resp_bytes"`
 	DelayMS       float64        `json:"delay_ms"`
 	FailFirst     int            `json:"fail_first"`
 	FaultActive   bool           `json:"fault_active"`
+	Fault         FaultState     `json:"fault"`
 	Latency       lhist.Snapshot `json:"latency"`
 }
 
 // Stats snapshots the live counters.
 func (s *BackendServer) Stats() BackendStats {
+	fault := s.FaultState()
 	return BackendStats{
 		Name:          s.cfg.Name,
 		TMS:           time.Now().UnixMilli(),
 		UptimeSec:     time.Since(s.start).Seconds(),
 		Requests:      s.Requests.Load(),
 		Dropped:       s.Failed.Load(),
+		Errored:       s.Errored.Load(),
 		StatsRequests: s.StatsRequests.Load(),
+		FaultPosts:    s.FaultPosts.Load(),
 		BytesIn:       s.BytesIn.Load(),
 		BytesOut:      s.BytesOut.Load(),
 		RespBytes:     s.cfg.RespBytes,
 		DelayMS:       float64(s.cfg.Delay) / float64(time.Millisecond),
 		FailFirst:     s.cfg.FailFirst,
-		FaultActive:   s.seq.Load() < uint64(s.cfg.FailFirst),
+		FaultActive:   fault.Active,
+		Fault:         fault,
 		Latency:       s.Latency.Snapshot(),
 	}
 }
@@ -242,13 +290,14 @@ func (s *BackendServer) response(seq uint64) []byte {
 	return b.Bytes()
 }
 
-// discardRequest frames one HTTP/1.1 request off the wire (header block
-// to the blank line, then Content-Length body bytes) and throws the body
-// away, returning the request line and the wire size. The backend's job
-// is to terminate the hop, not to re-process XML the gateway already
-// handled — only the method/target matter (for the /stats control
-// plane).
-func discardRequest(br *bufio.Reader) (string, int, error) {
+// frameRequest frames one HTTP/1.1 request off the wire (header block to
+// the blank line, then Content-Length body bytes). The body is normally
+// thrown away — the backend's job is to terminate the hop, not to
+// re-process XML the gateway already handled — except when the capture
+// predicate claims the request (the /fault control plane), in which case
+// the body is read into memory and returned non-nil. Returns the request
+// line, the captured body (nil when discarded), and the wire size.
+func frameRequest(br *bufio.Reader, capture func(reqLine string, clen int) bool) (string, []byte, int, error) {
 	total := 0
 	clen := 0
 	reqLine := ""
@@ -256,13 +305,13 @@ func discardRequest(br *bufio.Reader) (string, int, error) {
 		line, err := br.ReadString('\n')
 		if err != nil {
 			if err == io.EOF && total == 0 && line == "" {
-				return "", 0, io.EOF
+				return "", nil, 0, io.EOF
 			}
-			return "", 0, err
+			return "", nil, 0, err
 		}
 		total += len(line)
 		if total > 64<<10 {
-			return "", 0, errors.New("backend: header block too large")
+			return "", nil, 0, errors.New("backend: header block too large")
 		}
 		trimmed := strings.TrimRight(line, "\r\n")
 		if trimmed == "" {
@@ -279,17 +328,24 @@ func discardRequest(br *bufio.Reader) (string, int, error) {
 			if strings.EqualFold(strings.TrimSpace(trimmed[:i]), "Content-Length") {
 				n, err := strconv.Atoi(strings.TrimSpace(trimmed[i+1:]))
 				if err != nil || n < 0 {
-					return "", 0, errors.New("backend: bad Content-Length")
+					return "", nil, 0, errors.New("backend: bad Content-Length")
 				}
 				clen = n
 			}
 		}
 	}
-	if clen > 0 {
+	var body []byte
+	if capture != nil && capture(reqLine, clen) {
+		body = make([]byte, clen)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return "", nil, 0, err
+		}
+		total += clen
+	} else if clen > 0 {
 		if _, err := io.CopyN(io.Discard, br, int64(clen)); err != nil {
-			return "", 0, err
+			return "", nil, 0, err
 		}
 		total += clen
 	}
-	return reqLine, total, nil
+	return reqLine, body, total, nil
 }

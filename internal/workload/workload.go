@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/dpi"
 	"repro/internal/httpmsg"
 	"repro/internal/wcrypto"
 	"repro/internal/xsd"
@@ -41,6 +42,10 @@ const (
 	// payload ("crypto functions" in the paper's future work). The most
 	// CPU-bound point on the spectrum.
 	AUTH
+	// XJ is XML→JSON protocol translation: the message is parsed and
+	// re-emitted as JSON (the "protocol translation" AON operation).
+	// Parse-dominated like SV, plus a serialization stage.
+	XJ
 )
 
 func (u UseCase) String() string {
@@ -55,6 +60,8 @@ func (u UseCase) String() string {
 		return "DPI"
 	case AUTH:
 		return "AUTH"
+	case XJ:
+		return "XJ"
 	}
 	return "invalid"
 }
@@ -76,7 +83,7 @@ var AllUseCases = []UseCase{FR, CBR, SV}
 
 // ExtendedUseCases are the future-work operations (Section 6) implemented
 // beyond the paper's grid.
-var ExtendedUseCases = []UseCase{DPI, AUTH}
+var ExtendedUseCases = []UseCase{DPI, AUTH, XJ}
 
 // OrderSchemaXSD is the purchase-order schema the SV use case validates
 // incoming messages against.
@@ -164,7 +171,16 @@ func SOAPMessage(i int) []byte { return SOAPMessageSized(i, MessageBytes) }
 // load generator can sweep message sizes around the paper's 5 KB default.
 // At least one filler element is always emitted (the schema requires one).
 func SOAPMessageSized(i, size int) []byte {
-	r := rng(uint64(i)*2654435761 + 88172645463325252)
+	return SOAPMessageSeeded(i, size, 0)
+}
+
+// SOAPMessageSeeded is SOAPMessageSized under an explicit campaign seed:
+// the seed perturbs the per-index generator state so two campaign runs
+// with the same seed replay byte-identical traffic while distinct seeds
+// produce distinct (still deterministic) message populations. Seed 0 is
+// the legacy stream — SOAPMessageSized output is unchanged.
+func SOAPMessageSeeded(i, size int, seed uint64) []byte {
+	r := rng(uint64(i)*2654435761 + 88172645463325252 + seed*0x9E3779B97F4A7C15)
 	r.next()
 
 	var b strings.Builder
@@ -219,6 +235,21 @@ var AuthKey = []byte("aon-device-key-2007")
 // authentication path exercises both verdicts.
 const TamperEvery = 7
 
+// DirtyEvery makes every Nth DPI message carry an embedded inspection
+// signature, so the deep-packet-inspection path exercises both verdicts
+// (clean → forwarded, dirty → blocked).
+const DirtyEvery = 5
+
+// DirtySignature returns the signature embedded in dirty DPI message i
+// ("" for clean messages). Signatures cycle through the matcher's
+// default rule set so every automaton terminal state gets traffic.
+func DirtySignature(i int, signatures []string) string {
+	if len(signatures) == 0 || i%DirtyEvery != DirtyEvery-1 {
+		return ""
+	}
+	return signatures[(i/DirtyEvery)%len(signatures)]
+}
+
 // HTTPRequest wraps message i in the HTTP POST the clients send. AUTH
 // requests carry an X-AON-MAC header with the HMAC-SHA1 of the body
 // (corrupted for every TamperEvery-th message).
@@ -228,7 +259,21 @@ func HTTPRequest(i int, uc UseCase) []byte {
 
 // HTTPRequestSized is HTTPRequest with an explicit approximate body size.
 func HTTPRequestSized(i int, uc UseCase, size int) []byte {
-	body := SOAPMessageSized(i, size)
+	return HTTPRequestSeeded(i, uc, size, 0)
+}
+
+// HTTPRequestSeeded is HTTPRequestSized under an explicit campaign seed
+// (see SOAPMessageSeeded). Seed 0 reproduces the legacy byte stream.
+func HTTPRequestSeeded(i int, uc UseCase, size int, seed uint64) []byte {
+	body := SOAPMessageSeeded(i, size, seed)
+	if uc == DPI {
+		if sig := DirtySignature(i, dpi.DefaultSignatures); sig != "" {
+			// Splice the signature into the first filler element; DPI
+			// matches raw bytes and never parses, so signatures that are
+			// not XML-safe are fine here.
+			body = []byte(strings.Replace(string(body), "<filler>", "<filler>"+sig+" ", 1))
+		}
+	}
 	req := &httpmsg.Request{
 		Method: "POST",
 		Target: fmt.Sprintf("http://aon-gw.example.com/service/%s", uc),
@@ -262,7 +307,13 @@ func InvalidSOAPMessage(i int) []byte {
 
 // InvalidSOAPMessageSized is InvalidSOAPMessage at an explicit size.
 func InvalidSOAPMessageSized(i, size int) []byte {
-	msg := string(SOAPMessageSized(i, size))
+	return InvalidSOAPMessageSeeded(i, size, 0)
+}
+
+// InvalidSOAPMessageSeeded is InvalidSOAPMessageSized under an explicit
+// campaign seed (see SOAPMessageSeeded).
+func InvalidSOAPMessageSeeded(i, size int, seed uint64) []byte {
+	msg := string(SOAPMessageSeeded(i, size, seed))
 	return []byte(strings.Replace(msg, "<quantity>", "<quantity>x", 1))
 }
 

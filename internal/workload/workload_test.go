@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/dpi"
 	"repro/internal/httpmsg"
 	"repro/internal/xmldom"
 	"repro/internal/xpath"
@@ -97,6 +98,85 @@ func TestUseCaseStrings(t *testing.T) {
 	}
 	if len(AllUseCases) != 3 {
 		t.Fatal("use case list wrong")
+	}
+}
+
+func TestSeededGenerators(t *testing.T) {
+	// Seed 0 must reproduce the legacy stream byte for byte.
+	for i := 0; i < 8; i++ {
+		if !bytes.Equal(SOAPMessageSeeded(i, MessageBytes, 0), SOAPMessage(i)) {
+			t.Fatalf("message %d: seed 0 diverges from legacy stream", i)
+		}
+		if !bytes.Equal(HTTPRequestSeeded(i, CBR, MessageBytes, 0), HTTPRequest(i, CBR)) {
+			t.Fatalf("request %d: seed 0 diverges from legacy stream", i)
+		}
+	}
+	// Distinct seeds give distinct but internally deterministic streams.
+	a := SOAPMessageSeeded(3, MessageBytes, 42)
+	if bytes.Equal(a, SOAPMessage(3)) {
+		t.Fatal("seed 42 identical to seed 0")
+	}
+	if !bytes.Equal(a, SOAPMessageSeeded(3, MessageBytes, 42)) {
+		t.Fatal("seeded message not deterministic")
+	}
+	// Seeded messages stay well-formed and schema-valid.
+	doc, err := xmldom.Parse(a)
+	if err != nil {
+		t.Fatalf("seeded message: %v", err)
+	}
+	if errs := xsd.Validate(OrderSchema(), doc); len(errs) != 0 {
+		t.Fatalf("seeded message invalid: %v", errs[0])
+	}
+}
+
+func TestDirtySignature(t *testing.T) {
+	sigs := []string{"alpha", "beta"}
+	dirty := 0
+	for i := 0; i < 4*DirtyEvery; i++ {
+		sig := DirtySignature(i, sigs)
+		if want := i%DirtyEvery == DirtyEvery-1; (sig != "") != want {
+			t.Fatalf("message %d: dirty=%v want %v", i, sig != "", want)
+		}
+		if sig != "" {
+			dirty++
+		}
+	}
+	if dirty != 4 {
+		t.Fatalf("dirty count %d, want 4", dirty)
+	}
+	// Signatures cycle through the set.
+	if DirtySignature(DirtyEvery-1, sigs) != "alpha" || DirtySignature(2*DirtyEvery-1, sigs) != "beta" {
+		t.Fatal("signatures do not cycle in order")
+	}
+	if DirtySignature(DirtyEvery-1, nil) != "" {
+		t.Fatal("empty signature set must yield clean messages")
+	}
+}
+
+func TestDPIDirtyRequestEmbedsSignature(t *testing.T) {
+	// Every DirtyEvery-th DPI request carries a default signature;
+	// clean ones carry none.
+	dirtyIdx := DirtyEvery - 1
+	raw := HTTPRequestSized(dirtyIdx, DPI, MessageBytes)
+	req, err := httpmsg.ParseRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := DirtySignature(dirtyIdx, dpi.DefaultSignatures)
+	if sig == "" || !bytes.Contains(req.Body, []byte(sig)) {
+		t.Fatalf("dirty DPI request missing signature %q", sig)
+	}
+	if req.ContentLength() != len(req.Body) {
+		t.Fatal("dirty DPI request content length mismatch")
+	}
+	clean, err := httpmsg.ParseRequest(HTTPRequestSized(0, DPI, MessageBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range dpi.DefaultSignatures {
+		if bytes.Contains(clean.Body, []byte(s)) {
+			t.Fatalf("clean DPI request contains signature %q", s)
+		}
 	}
 }
 

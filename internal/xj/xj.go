@@ -1,0 +1,182 @@
+// Package xj translates an xmldom tree into a deterministic JSON
+// document — the XJ (XML→JSON) protocol-translation use case. The
+// mapping follows the common "BadgerFish-lite" convention:
+//
+//   - an element becomes a JSON object keyed by child element name
+//   - attributes become "@name" string members
+//   - character data becomes the member "#text"; an element with only
+//     text (no attributes, no element children) collapses to a plain
+//     JSON string
+//   - repeated same-named sibling elements collapse into one array
+//     member, in document order
+//   - an element with no attributes, no text, and no children becomes
+//     JSON null
+//
+// Output is fully deterministic: members appear in first-occurrence
+// document order (attributes first, then "#text", then child names),
+// never sorted, so byte-identical input yields byte-identical output —
+// which the campaign layer relies on for reproducible measurements.
+package xj
+
+import (
+	"errors"
+	"strings"
+
+	"repro/internal/xmldom"
+)
+
+// ErrNoElement reports a document without a document element.
+var ErrNoElement = errors.New("xj: document has no element to translate")
+
+// Translate renders the document (or element) rooted at n as compact
+// JSON: {"<rootName>": <value>}.
+func Translate(n *xmldom.Node) ([]byte, error) {
+	root := n
+	if root.Kind == xmldom.Document {
+		root = root.DocumentElement()
+		if root == nil {
+			return nil, ErrNoElement
+		}
+	}
+	if root.Kind != xmldom.Element {
+		return nil, ErrNoElement
+	}
+	var b strings.Builder
+	b.Grow(256)
+	b.WriteByte('{')
+	writeString(&b, root.Name)
+	b.WriteByte(':')
+	writeElement(&b, root)
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// writeElement emits the JSON value for one element.
+func writeElement(b *strings.Builder, n *xmldom.Node) {
+	text, elems := partition(n)
+	if len(n.Attrs) == 0 && len(elems) == 0 {
+		// Leaf: plain string, or null when fully empty.
+		if text == "" {
+			b.WriteString("null")
+			return
+		}
+		writeString(b, text)
+		return
+	}
+
+	b.WriteByte('{')
+	first := true
+	comma := func() {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+	}
+	for _, a := range n.Attrs {
+		comma()
+		writeString(b, "@"+a.Name)
+		b.WriteByte(':')
+		writeString(b, a.Value)
+	}
+	if text != "" {
+		comma()
+		writeString(b, "#text")
+		b.WriteByte(':')
+		writeString(b, text)
+	}
+	// Group same-named siblings into arrays, preserving first-occurrence
+	// order. Sibling counts are small (message trees), so the linear
+	// name scan beats allocating a map per element.
+	for i, c := range elems {
+		if indexOfName(elems[:i], c.Name) >= 0 {
+			continue // already emitted inside an earlier array
+		}
+		comma()
+		writeString(b, c.Name)
+		b.WriteByte(':')
+		group := sameNamed(elems[i:], c.Name)
+		if len(group) == 1 && indexOfName(elems[i+1:], c.Name) < 0 {
+			writeElement(b, c)
+			continue
+		}
+		b.WriteByte('[')
+		for k, g := range group {
+			if k > 0 {
+				b.WriteByte(',')
+			}
+			writeElement(b, g)
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('}')
+}
+
+// partition splits an element's children into trimmed concatenated text
+// and the element children.
+func partition(n *xmldom.Node) (text string, elems []*xmldom.Node) {
+	var tb strings.Builder
+	for _, c := range n.Children {
+		switch c.Kind {
+		case xmldom.Text:
+			tb.WriteString(c.Data)
+		case xmldom.Element:
+			elems = append(elems, c)
+		}
+	}
+	return strings.TrimSpace(tb.String()), elems
+}
+
+func indexOfName(elems []*xmldom.Node, name string) int {
+	for i, e := range elems {
+		if e.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func sameNamed(elems []*xmldom.Node, name string) []*xmldom.Node {
+	var out []*xmldom.Node
+	for _, e := range elems {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+const hexDigits = "0123456789abcdef"
+
+// writeString emits s as a JSON string without the HTML-safe escaping
+// json.Marshal applies (&, <, > stay literal — the translated body is
+// served as application/json, not embedded in HTML).
+func writeString(b *strings.Builder, s string) {
+	b.WriteByte('"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		b.WriteString(s[start:i])
+		switch c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteString(`\u00`)
+			b.WriteByte(hexDigits[c>>4])
+			b.WriteByte(hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	b.WriteString(s[start:])
+	b.WriteByte('"')
+}
