@@ -1,0 +1,160 @@
+// Command benchguard gates CI on the hot path's allocation budget. It
+// parses `go test -bench -benchmem` output on stdin, compares every
+// guarded benchmark's allocs/op against the committed baseline
+// (BENCH_hotpath.json), and exits non-zero when a guarded benchmark
+// regresses above its threshold — or is missing from the input, so a
+// renamed benchmark cannot silently drop its guard.
+//
+//	go test -run '^$' -bench 'BenchmarkGateway(FR|CBR|SV)$' -benchmem . | benchguard
+//	go test -run '^$' -bench ... -benchmem . | benchguard -update   # refresh recorded numbers
+//
+// Only allocs/op is gated: it is deterministic for a fixed code path,
+// while ns/op on shared CI runners is too noisy for a hard threshold.
+// ns/op and B/op are still recorded in the baseline as the paper trail
+// behind EXPERIMENTS.md.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Entry is one benchmark's committed record.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// MaxAllocsPerOp is the gate: measured allocs/op above this fails.
+	MaxAllocsPerOp int64 `json:"max_allocs_per_op"`
+}
+
+// Baseline is the BENCH_hotpath.json shape.
+type Baseline struct {
+	Note       string           `json:"note"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+type measured struct {
+	ns     float64
+	bytes  int64
+	allocs int64
+}
+
+// benchLine matches one -benchmem result row; the -N GOMAXPROCS suffix
+// is stripped so baselines are portable across runner core counts.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_hotpath.json",
+		"committed baseline file with per-benchmark allocation thresholds")
+	update := flag.Bool("update", false,
+		"rewrite the baseline's recorded numbers from the measured input (existing thresholds are preserved)")
+	flag.Parse()
+
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fatalf("benchguard: %v", err)
+	}
+
+	got := map[string]measured{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		b, _ := strconv.ParseInt(m[3], 10, 64)
+		allocs, _ := strconv.ParseInt(m[4], 10, 64)
+		got[m[1]] = measured{ns: ns, bytes: b, allocs: allocs}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("benchguard: reading stdin: %v", err)
+	}
+	if len(got) == 0 {
+		fatalf("benchguard: no benchmark result lines on stdin (run with -bench ... -benchmem)")
+	}
+
+	if *update {
+		for name, m := range got {
+			e := base.Benchmarks[name]
+			if e.MaxAllocsPerOp == 0 {
+				// New benchmark: seed a threshold with headroom so
+				// warmup jitter does not flap the gate.
+				e.MaxAllocsPerOp = 2*m.allocs + 4
+			}
+			e.NsPerOp, e.BytesPerOp, e.AllocsPerOp = m.ns, m.bytes, m.allocs
+			base.Benchmarks[name] = e
+		}
+		if err := writeBaseline(*baselinePath, base); err != nil {
+			fatalf("benchguard: %v", err)
+		}
+		fmt.Printf("benchguard: updated %s with %d benchmarks\n", *baselinePath, len(got))
+		return
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		e := base.Benchmarks[name]
+		m, ok := got[name]
+		if !ok {
+			fmt.Printf("FAIL %-28s guarded benchmark missing from input\n", name)
+			failed = true
+			continue
+		}
+		status := "ok  "
+		if m.allocs > e.MaxAllocsPerOp {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-28s %6d allocs/op (max %d, recorded %d)  %10.0f ns/op (recorded %.0f)\n",
+			status, name, m.allocs, e.MaxAllocsPerOp, e.AllocsPerOp, m.ns, e.NsPerOp)
+	}
+	if failed {
+		fatalf("benchguard: allocation budget exceeded — if the regression is intentional, re-run with -update and review the diff")
+	}
+}
+
+func loadBaseline(path string) (*Baseline, error) {
+	base := &Baseline{Benchmarks: map[string]Entry{}}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return base, nil // -update bootstraps a fresh file
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(raw, base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if base.Benchmarks == nil {
+		base.Benchmarks = map[string]Entry{}
+	}
+	return base, nil
+}
+
+func writeBaseline(path string, base *Baseline) error {
+	raw, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -25,7 +25,7 @@ import (
 	"io"
 	"net"
 	"runtime"
-	"strconv"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -133,7 +133,8 @@ type Config struct {
 }
 
 // job is one framed request travelling from a connection reader to a
-// worker and back.
+// worker and back. Jobs are pooled; the resp channel is created once and
+// reused for the job's whole pooled lifetime.
 type job struct {
 	raw   []byte
 	start time.Time
@@ -143,12 +144,51 @@ type job struct {
 	readDur time.Duration // wire→memory framing time (traced requests only)
 }
 
+// response carries a formatted answer from a worker back to the
+// connection reader. head holds the header block (plus any inlined small
+// body); body, when non-nil, is a separately-owned payload written
+// vectored after head (writev) instead of being copied. buf, when
+// non-nil, is the pooled buffer backing head — the reader recycles it
+// after the write completes, which is the lifetime discipline that makes
+// the pooling safe.
 type response struct {
-	bytes  []byte
+	head   []byte
+	body   []byte
+	buf    *[]byte
 	close  bool // respond then close the connection
 	uc     workload.UseCase
 	traced bool // stamp the write stage on the way out
 }
+
+// Hot-path pools. Frames and bufio readers are owned by one connection
+// at a time; response buffers by one in-flight response; jobs by one
+// admission attempt. Every Get/Put pair is bracketed by a happens-before
+// edge (channel send/receive or write completion), so pooled memory is
+// never shared between two owners.
+var (
+	framePool = sync.Pool{New: func() any {
+		b := make([]byte, 0, 8<<10)
+		return &b
+	}}
+	brPool = sync.Pool{New: func() any {
+		return bufio.NewReaderSize(nil, 32<<10)
+	}}
+	respBufPool = sync.Pool{New: func() any {
+		b := make([]byte, 0, 1<<10)
+		return &b
+	}}
+	jobPool = sync.Pool{New: func() any {
+		return &job{resp: make(chan response, 1)}
+	}}
+)
+
+// Prebuilt shed/drain responses: under overload these are the most
+// frequent writes, so they must not cost a format each.
+var (
+	respQueueFull  = formatError(503, "queue full", false)
+	respAdmitBound = formatError(503, "admission bound", false)
+	respDraining   = formatError(503, "draining", true)
+)
 
 // Server is one live gateway instance.
 type Server struct {
@@ -412,7 +452,19 @@ func (s *Server) removeConn(c net.Conn) {
 // a worker so the connection reader stays I/O-bound.
 func (s *Server) handleConn(c net.Conn) {
 	defer s.removeConn(c)
-	br := bufio.NewReaderSize(c, 32<<10)
+	br := brPool.Get().(*bufio.Reader)
+	br.Reset(c)
+	defer func() {
+		br.Reset(nil)
+		brPool.Put(br)
+	}()
+	// The connection owns one pooled frame for its whole life: readRequest
+	// appends each message into it, the worker parses views out of it, and
+	// the reader only reuses it for the next message after the response
+	// write completed — receiving on j.resp is the happens-before edge.
+	fp := framePool.Get().(*[]byte)
+	defer framePool.Put(fp)
+	var nb net.Buffers // reused writev scratch
 	for {
 		// The idle deadline covers one whole request read: a client that
 		// goes quiet between requests *or* stalls mid-request is reaped,
@@ -437,7 +489,8 @@ func (s *Server) handleConn(c net.Conn) {
 				}
 			}
 		}
-		raw, err := readRequest(br, s.cfg.MaxBodyBytes)
+		raw, err := readRequest(br, s.cfg.MaxBodyBytes, *fp)
+		*fp = raw
 		if err != nil {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
@@ -480,7 +533,7 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 
 		if s.stopping.Load() {
-			s.write(c, formatError(503, "draining", true))
+			s.write(c, respDraining)
 			return
 		}
 		// The adaptive admission bound sheds before the queue does: when
@@ -488,12 +541,13 @@ func (s *Server) handleConn(c net.Conn) {
 		// 503 happens here, at a bound the control loop moves at runtime.
 		if bound := s.admitBound.Load(); bound > 0 && s.inflight.Load() >= bound {
 			s.Metrics.Shed.Add(1)
-			if !s.write(c, formatError(503, "admission bound", false)) {
+			if !s.write(c, respAdmitBound) {
 				return
 			}
 			continue
 		}
-		j := &job{raw: raw, start: time.Now(), resp: make(chan response, 1)}
+		j := jobPool.Get().(*job)
+		j.raw, j.start, j.traced, j.readDur = raw, time.Now(), false, 0
 		if traced {
 			j.traced, j.readDur = true, j.start.Sub(tRead)
 		}
@@ -501,11 +555,13 @@ func (s *Server) handleConn(c net.Conn) {
 		select {
 		case s.jobs <- j:
 			r := <-j.resp
+			j.raw = nil
+			jobPool.Put(j)
 			var tWrite time.Time
 			if r.traced {
 				tWrite = time.Now()
 			}
-			ok := s.write(c, r.bytes)
+			ok := s.writeResp(c, &r, &nb)
 			if r.traced {
 				s.tracer.observe(r.uc, StageWrite, time.Since(tWrite))
 			}
@@ -515,8 +571,10 @@ func (s *Server) handleConn(c net.Conn) {
 			}
 		default:
 			s.inflight.Add(-1)
+			j.raw = nil
+			jobPool.Put(j)
 			s.Metrics.Shed.Add(1)
-			if !s.write(c, formatError(503, "queue full", false)) {
+			if !s.write(c, respQueueFull) {
 				return
 			}
 		}
@@ -531,6 +589,45 @@ func (s *Server) write(c net.Conn, b []byte) bool {
 	return err == nil
 }
 
+// writeResp sends a worker-built response — vectored (writev) when a
+// separately-owned body rides along — and recycles the pooled head
+// buffer once the write is done. nb is the connection's reused
+// net.Buffers scratch (WriteTo consumes its receiver, so a fresh literal
+// per call would escape).
+func (s *Server) writeResp(c net.Conn, r *response, nb *net.Buffers) bool {
+	var n int64
+	var err error
+	if len(r.body) > 0 {
+		*nb = append((*nb)[:0], r.head, r.body)
+		n, err = nb.WriteTo(c)
+	} else {
+		var m int
+		m, err = c.Write(r.head)
+		n = int64(m)
+	}
+	s.Metrics.BytesOut.Add(uint64(n))
+	if r.buf != nil {
+		*r.buf = r.head[:0] // keep capacity grown during formatting
+		respBufPool.Put(r.buf)
+	}
+	return err == nil
+}
+
+// wscratch is one worker's reusable parse/format state: the request and
+// response structs, their header backing arrays, the verdict-body
+// scratch, and the upstream request head. Everything in it is dead by
+// the time process returns except bytes already copied into the pooled
+// response buffer.
+type wscratch struct {
+	req    httpmsg.Request
+	resp   httpmsg.Response
+	hdrs   []httpmsg.Header
+	body   []byte // small JSON bodies; always inlined into head
+	upReq  httpmsg.Request
+	upHdrs []httpmsg.Header
+	upHead []byte // upstream request header block
+}
+
 func (s *Server) worker(id int, quit chan struct{}) {
 	defer s.workerWG.Done()
 	if s.counters != nil {
@@ -542,6 +639,7 @@ func (s *Server) worker(id int, quit chan struct{}) {
 		wc := s.counters.registerWorker(id)
 		defer s.counters.unregisterWorker(wc)
 	}
+	var sc wscratch
 	for {
 		select {
 		case <-quit:
@@ -550,14 +648,18 @@ func (s *Server) worker(id int, quit chan struct{}) {
 			if !ok {
 				return
 			}
-			j.resp <- s.process(j)
+			j.resp <- s.process(j, &sc)
 		}
 	}
 }
 
 // process is the worker-side pipeline: full HTTP parse, use-case
-// dispatch, response build.
-func (s *Server) process(j *job) response {
+// dispatch, response build. The parse is zero-copy (views into j.raw,
+// the connection's pooled frame) and the response is formatted into a
+// pooled buffer the reader recycles after the write — both safe because
+// the reader never touches the frame again until it has received and
+// written this response.
+func (s *Server) process(j *job, sc *wscratch) response {
 	// Stage stamps bracket the worker's phases for traced requests; the
 	// ProcessDelay fault-injection stall runs inside the process stage,
 	// so an emulated slower device shows up as process demand — which is
@@ -570,8 +672,8 @@ func (s *Server) process(j *job) response {
 	if j.traced {
 		tWork = time.Now()
 	}
-	req, err := httpmsg.ParseRequest(j.raw)
-	if err != nil {
+	req := &sc.req
+	if err := httpmsg.ParseRequestInto(j.raw, req); err != nil {
 		uc := s.cfg.UseCase // malformed request: no path to select from
 		if j.traced {
 			s.tracer.observe(uc, StageRead, j.readDur)
@@ -579,7 +681,7 @@ func (s *Server) process(j *job) response {
 			s.tracer.observe(uc, StageParse, time.Since(tWork))
 		}
 		s.Metrics.Done(OutParseError, uc, time.Since(j.start))
-		return response{bytes: formatError(400, err.Error(), true), close: true, uc: uc, traced: j.traced}
+		return response{head: formatError(400, err.Error(), true), close: true, uc: uc, traced: j.traced}
 	}
 	var tParsed time.Time
 	if j.traced {
@@ -600,7 +702,7 @@ func (s *Server) process(j *job) response {
 	}
 	if out == OutParseError {
 		s.Metrics.Done(out, uc, time.Since(j.start))
-		return response{bytes: formatError(400, "unprocessable message", false), uc: uc, traced: j.traced}
+		return response{head: formatError(400, "unprocessable message", false), uc: uc, traced: j.traced}
 	}
 	connClose := false
 	if v, ok := req.Get("Connection"); ok && strings.EqualFold(v, "close") {
@@ -608,11 +710,17 @@ func (s *Server) process(j *job) response {
 	}
 	route := routeOf(out)
 
-	var resp *httpmsg.Response
+	resp := &sc.resp
+	*resp = httpmsg.Response{Status: 200, Headers: sc.hdrs[:0]}
+	// vbody rides as a separately-owned writev segment (fresh buffers
+	// only: the translated XJ payload or the upstream body); inline is
+	// worker-scratch and must be copied into the pooled head before the
+	// job is handed back.
+	var vbody, inline []byte
 	if s.fwd != nil && s.fwd.Has(route) {
 		// Forwarding mode: the paper's device proxies onward — relay the
 		// backend's answer (or map its failure to 502/504, never hang).
-		resp = s.forward(route, uc, out, req)
+		vbody, inline = s.forward(resp, route, uc, out, req, sc)
 		if j.traced {
 			s.tracer.observe(uc, StageForward, time.Since(tProcessed))
 		}
@@ -620,75 +728,92 @@ func (s *Server) process(j *job) response {
 		// In-place mode (no backend for this route): synthesize the
 		// routing verdict, the PR 1 behavior. XJ answers with its own
 		// payload — the pipeline already rewrote req.Body to the
-		// translated JSON document.
-		body := []byte(fmt.Sprintf(`{"usecase":%q,"outcome":%q,"route":%q}`, uc, out, route))
+		// translated JSON document (a fresh buffer, so it may ride
+		// vectored).
+		resp.Headers = append(resp.Headers,
+			httpmsg.Header{Name: "Content-Type", Value: "application/json"},
+			httpmsg.Header{Name: RouteHeader, Value: route},
+			httpmsg.Header{Name: "X-AON-Outcome", Value: out.String()},
+		)
 		if out == OutTranslated {
-			body = req.Body
-		}
-		resp = &httpmsg.Response{
-			Status: 200,
-			Headers: []httpmsg.Header{
-				{Name: "Content-Type", Value: "application/json"},
-				{Name: RouteHeader, Value: route},
-				{Name: "X-AON-Outcome", Value: out.String()},
-			},
-			Body: body,
+			vbody = req.Body
+		} else {
+			sc.body = appendVerdict(sc.body[:0], uc.String(), out.String(), route)
+			inline = sc.body
 		}
 	}
 	s.Metrics.Done(out, uc, time.Since(j.start))
 	if connClose {
 		resp.Headers = append(resp.Headers, httpmsg.Header{Name: "Connection", Value: "close"})
 	}
-	return response{bytes: httpmsg.FormatResponse(resp), close: connClose, uc: uc, traced: j.traced}
+	buf := respBufPool.Get().(*[]byte)
+	head := httpmsg.AppendResponseHeader((*buf)[:0], resp, len(vbody)+len(inline))
+	head = append(head, inline...)
+	sc.hdrs = resp.Headers[:0] // keep the grown header backing
+	return response{head: head, body: vbody, buf: buf, close: connClose, uc: uc, traced: j.traced}
 }
 
-// forward relays one processed message to the route's backend and builds
-// the client-facing response from the backend's answer. Forwarding
-// failures map to 502 (unreachable/down) or 504 (timed out) — bounded by
-// the upstream retry budget, so the client never hangs on a dead
-// backend.
-func (s *Server) forward(route string, uc workload.UseCase, out Outcome, req *httpmsg.Request) *httpmsg.Response {
-	upRaw := httpmsg.FormatRequest(&httpmsg.Request{
-		Method: "POST",
-		Target: httpmsg.RewriteTarget(req, trace.Nop{}),
-		Proto:  "HTTP/1.1",
-		Headers: []httpmsg.Header{
-			{Name: "Host", Value: route},
-			{Name: "Content-Type", Value: contentTypeOf(req)},
-			{Name: RouteHeader, Value: route},
-			{Name: "X-AON-Outcome", Value: out.String()},
-			{Name: "X-AON-Usecase", Value: uc.String()},
-		},
-		Body: req.Body,
-	})
-	res, err := s.fwd.RoundTrip(route, upRaw)
+// appendVerdict appends the in-place routing verdict JSON — the append
+// twin of fmt.Sprintf(`{"usecase":%q,...}`) for values that never need
+// escaping.
+func appendVerdict(dst []byte, uc, out, route string) []byte {
+	dst = append(dst, `{"usecase":"`...)
+	dst = append(dst, uc...)
+	dst = append(dst, `","outcome":"`...)
+	dst = append(dst, out...)
+	dst = append(dst, `","route":"`...)
+	dst = append(dst, route...)
+	return append(dst, `"}`...)
+}
+
+// forward relays one processed message to the route's backend and fills
+// resp from the backend's answer. Forwarding failures map to 502
+// (unreachable/down) or 504 (timed out) — bounded by the upstream retry
+// budget, so the client never hangs on a dead backend. The upstream
+// request header is built in the worker's scratch and written vectored
+// with the body view, so forwarding copies no payload bytes. Returns
+// (vectored body, inline body) for the caller's response formatting.
+func (s *Server) forward(resp *httpmsg.Response, route string, uc workload.UseCase, out Outcome, req *httpmsg.Request, sc *wscratch) (vbody, inline []byte) {
+	up := &sc.upReq
+	*up = httpmsg.Request{
+		Method:  "POST",
+		Target:  httpmsg.RewriteTarget(req, trace.Nop{}),
+		Proto:   "HTTP/1.1",
+		Headers: sc.upHdrs[:0],
+	}
+	up.Headers = append(up.Headers,
+		httpmsg.Header{Name: "Host", Value: route},
+		httpmsg.Header{Name: "Content-Type", Value: contentTypeOf(req)},
+		httpmsg.Header{Name: RouteHeader, Value: route},
+		httpmsg.Header{Name: "X-AON-Outcome", Value: out.String()},
+		httpmsg.Header{Name: "X-AON-Usecase", Value: uc.String()},
+	)
+	sc.upHead = httpmsg.AppendRequestHeader(sc.upHead[:0], up, len(req.Body))
+	sc.upHdrs = up.Headers[:0]
+	res, err := s.fwd.RoundTripBuffers(route, sc.upHead, req.Body)
 	if err != nil {
 		s.Metrics.UpstreamErrs.Add(1)
-		status := upstream.StatusFor(err)
-		return &httpmsg.Response{
-			Status: status,
-			Headers: []httpmsg.Header{
-				{Name: "Content-Type", Value: "application/json"},
-				{Name: RouteHeader, Value: route},
-				{Name: "X-AON-Outcome", Value: out.String()},
-			},
-			Body: []byte(fmt.Sprintf(`{"error":%q,"route":%q}`, err.Error(), route)),
-		}
+		resp.Status = upstream.StatusFor(err)
+		resp.Headers = append(resp.Headers,
+			httpmsg.Header{Name: "Content-Type", Value: "application/json"},
+			httpmsg.Header{Name: RouteHeader, Value: route},
+			httpmsg.Header{Name: "X-AON-Outcome", Value: out.String()},
+		)
+		sc.body = fmt.Appendf(sc.body[:0], `{"error":%q,"route":%q}`, err.Error(), route)
+		return nil, sc.body
 	}
 	ct := res.ContentType
 	if ct == "" {
 		ct = "application/octet-stream"
 	}
-	return &httpmsg.Response{
-		Status: res.Status,
-		Headers: []httpmsg.Header{
-			{Name: "Content-Type", Value: ct},
-			{Name: RouteHeader, Value: route},
-			{Name: "X-AON-Outcome", Value: out.String()},
-			{Name: "X-AON-Backend", Value: res.Addr},
-		},
-		Body: res.Body,
-	}
+	resp.Status = res.Status
+	resp.Headers = append(resp.Headers,
+		httpmsg.Header{Name: "Content-Type", Value: ct},
+		httpmsg.Header{Name: RouteHeader, Value: route},
+		httpmsg.Header{Name: "X-AON-Outcome", Value: out.String()},
+		httpmsg.Header{Name: "X-AON-Backend", Value: res.Addr},
+	)
+	return res.Body, nil
 }
 
 // contentTypeOf returns the request's Content-Type (default text/xml).
@@ -835,58 +960,103 @@ type frameError struct{ msg string }
 
 func (e *frameError) Error() string { return "gateway: " + e.msg }
 
+var clenName = []byte("Content-Length")
+
 // readRequest frames one HTTP/1.1 message off the wire: header block to
-// the blank line, then exactly Content-Length body bytes. It returns the
-// raw message for httpmsg.ParseRequest. io.EOF between messages is a
-// clean close.
-func readRequest(br *bufio.Reader, maxBody int) ([]byte, error) {
-	var buf []byte
+// the blank line, then exactly Content-Length body bytes — all appended
+// into buf (the connection's pooled frame), whose possibly-grown slice
+// is returned whether or not framing succeeded, so the caller keeps the
+// capacity. Lines come via ReadSlice (no per-line allocation; the
+// ErrBufferFull continuation keeps oversized lines working). io.EOF
+// between messages is a clean close.
+func readRequest(br *bufio.Reader, maxBody int, buf []byte) ([]byte, error) {
+	buf = buf[:0]
 	clen := 0
 	for {
-		line, err := br.ReadBytes('\n')
+		lineStart := len(buf)
+		var err error
+		for {
+			var chunk []byte
+			chunk, err = br.ReadSlice('\n')
+			buf = append(buf, chunk...)
+			if err != bufio.ErrBufferFull {
+				break
+			}
+		}
 		if err != nil {
-			if err == io.EOF && len(buf) == 0 && len(line) == 0 {
-				return nil, io.EOF
+			if err == io.EOF && len(buf) == 0 {
+				return buf, io.EOF
 			}
 			if err == io.EOF {
-				return nil, &frameError{"truncated request"}
+				return buf, &frameError{"truncated request"}
 			}
-			return nil, err
+			return buf, err
 		}
-		buf = append(buf, line...)
 		if len(buf) > 64<<10 {
-			return nil, &frameError{"header block too large"}
+			return buf, &frameError{"header block too large"}
 		}
-		trimmed := bytes.TrimRight(line, "\r\n")
+		trimmed := bytes.TrimRight(buf[lineStart:], "\r\n")
 		if len(trimmed) == 0 {
-			if len(buf) == len(line) {
+			if lineStart == 0 {
 				buf = buf[:0] // tolerate blank lines before the request line
 				continue
 			}
 			break // blank line after the header block
 		}
 		if i := bytes.IndexByte(trimmed, ':'); i > 0 {
-			if strings.EqualFold(string(bytes.TrimSpace(trimmed[:i])), "Content-Length") {
-				n, err := strconv.Atoi(strings.TrimSpace(string(trimmed[i+1:])))
-				if err != nil || n < 0 {
-					return nil, &frameError{"bad Content-Length"}
+			if bytes.EqualFold(bytes.TrimSpace(trimmed[:i]), clenName) {
+				n, ok := parseClen(trimmed[i+1:])
+				if !ok {
+					return buf, &frameError{"bad Content-Length"}
 				}
 				clen = n
 			}
 		}
 	}
 	if clen > maxBody {
-		return nil, &frameError{"body exceeds limit"}
+		return buf, &frameError{"body exceeds limit"}
 	}
 	if clen > 0 {
-		body := make([]byte, clen)
-		if _, err := io.ReadFull(br, body); err != nil {
+		hlen := len(buf)
+		buf = slices.Grow(buf, clen)[:hlen+clen]
+		if _, err := io.ReadFull(br, buf[hlen:]); err != nil {
+			buf = buf[:hlen]
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil, &frameError{"truncated body"}
+				return buf, &frameError{"truncated body"}
 			}
-			return nil, err // e.g. a deadline expiry mid-body stays a net.Error
+			return buf, err // e.g. a deadline expiry mid-body stays a net.Error
 		}
-		buf = append(buf, body...)
 	}
 	return buf, nil
+}
+
+// parseClen is the allocation-free strconv.Atoi of a Content-Length
+// value: optional sign, decimal digits; negatives and garbage are
+// rejected like the Atoi path was.
+func parseClen(b []byte) (int, bool) {
+	b = bytes.TrimSpace(b)
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := b[0] == '-'
+	if b[0] == '-' || b[0] == '+' {
+		b = b[1:]
+		if len(b) == 0 {
+			return 0, false
+		}
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<50 {
+			return 0, false
+		}
+	}
+	if neg {
+		return 0, false
+	}
+	return n, true
 }

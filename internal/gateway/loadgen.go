@@ -2,11 +2,11 @@ package gateway
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"net"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,43 +55,51 @@ func (cl *Client) Do(raw []byte, timeout time.Duration) (*ClientResp, error) {
 }
 
 // readResponse parses a status line, headers, and Content-Length body.
+// Header lines are scanned as ReadSlice views (no per-line allocation);
+// ClientResp and Body are fresh allocations because callers keep them
+// across requests.
 func readResponse(br *bufio.Reader) (*ClientResp, error) {
-	line, err := br.ReadString('\n')
+	line, err := br.ReadSlice('\n')
 	if err != nil {
 		return nil, err
 	}
 	resp := &ClientResp{Bytes: len(line)}
-	parts := strings.SplitN(strings.TrimRight(line, "\r\n"), " ", 3)
-	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+	sl := bytes.TrimRight(line, "\r\n")
+	sp1 := bytes.IndexByte(sl, ' ')
+	if sp1 < 0 || !bytes.HasPrefix(sl, []byte("HTTP/1.")) {
 		return nil, fmt.Errorf("gateway: malformed status line %q", line)
 	}
-	resp.Status, err = strconv.Atoi(parts[1])
+	status := sl[sp1+1:]
+	if i := bytes.IndexByte(status, ' '); i >= 0 {
+		status = status[:i]
+	}
+	resp.Status, err = strconv.Atoi(string(status))
 	if err != nil {
-		return nil, fmt.Errorf("gateway: bad status %q", parts[1])
+		return nil, fmt.Errorf("gateway: bad status %q", status)
 	}
 	clen := 0
 	for {
-		line, err := br.ReadString('\n')
+		line, err := br.ReadSlice('\n')
 		if err != nil {
 			return nil, err
 		}
 		resp.Bytes += len(line)
-		h := strings.TrimRight(line, "\r\n")
-		if h == "" {
+		h := bytes.TrimRight(line, "\r\n")
+		if len(h) == 0 {
 			break
 		}
-		i := strings.IndexByte(h, ':')
+		i := bytes.IndexByte(h, ':')
 		if i <= 0 {
 			continue
 		}
-		name, val := strings.TrimSpace(h[:i]), strings.TrimSpace(h[i+1:])
+		name, val := bytes.TrimSpace(h[:i]), bytes.TrimSpace(h[i+1:])
 		switch {
-		case strings.EqualFold(name, "Content-Length"):
-			clen, _ = strconv.Atoi(val)
-		case strings.EqualFold(name, RouteHeader):
-			resp.Route = val
-		case strings.EqualFold(name, "X-AON-Outcome"):
-			resp.Outcome = val
+		case bytes.EqualFold(name, []byte("Content-Length")):
+			clen, _ = strconv.Atoi(string(val))
+		case bytes.EqualFold(name, []byte(RouteHeader)):
+			resp.Route = internToken(val)
+		case bytes.EqualFold(name, []byte("X-AON-Outcome")):
+			resp.Outcome = internToken(val)
 		}
 	}
 	if clen > 0 {
@@ -102,6 +110,20 @@ func readResponse(br *bufio.Reader) (*ClientResp, error) {
 		resp.Bytes += clen
 	}
 	return resp, nil
+}
+
+// internToken maps the small closed set of route/outcome header values
+// to static strings, so the client's per-response accounting does not
+// allocate. Unknown values still get a fresh copy.
+func internToken(b []byte) string {
+	for _, s := range [...]string{
+		"order", "error", "forwarded", "match", "valid", "translated", "parse-error",
+	} {
+		if string(b) == s { // compiled to an alloc-free comparison
+			return s
+		}
+	}
+	return string(b)
 }
 
 // LoadConfig parameterizes one load-generation run.

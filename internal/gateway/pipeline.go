@@ -79,6 +79,7 @@ func routeOf(o Outcome) string {
 // schema, Section 3.2.1) and shared read-only across workers.
 type Pipeline struct {
 	expr    *xpath.Expr
+	eval    *xpath.Evaluator // stateless; shared read-only across workers
 	schema  *xsd.Schema
 	matcher *dpi.Matcher
 	def     workload.UseCase
@@ -101,6 +102,7 @@ func NewPipeline(def workload.UseCase, expr string, schema *xsd.Schema) (*Pipeli
 	}
 	return &Pipeline{
 		expr:    e,
+		eval:    xpath.NewEvaluator(nil),
 		schema:  schema,
 		matcher: dpi.MustNewMatcher(dpi.DefaultSignatures),
 		def:     def,
@@ -123,6 +125,13 @@ func (p *Pipeline) SelectUseCase(target string) workload.UseCase {
 }
 
 // Process runs the use-case pipeline on a parsed request.
+//
+// XML-processing cases parse through a pooled StreamParser: the tree is
+// views into req.Body (the connection's pooled frame) and pooled node
+// slabs, both valid for exactly the duration of this call — every
+// consumer (XPath evaluation, schema validation, XJ translation) copies
+// what it returns, and the deferred Release recycles the parser only
+// after those consumers ran.
 func (p *Pipeline) Process(uc workload.UseCase, req *httpmsg.Request) Outcome {
 	switch uc {
 	case workload.FR:
@@ -130,11 +139,13 @@ func (p *Pipeline) Process(uc workload.UseCase, req *httpmsg.Request) Outcome {
 		httpmsg.RewriteTarget(req, trace.Nop{})
 		return OutForwarded
 	case workload.CBR:
-		doc, err := xmldom.Parse(req.Body)
+		sp := xmldom.AcquireStreamParser()
+		defer sp.Release()
+		doc, err := sp.Parse(req.Body)
 		if err != nil {
 			return OutParseError
 		}
-		val, err := xpath.NewEvaluator(nil).EvalString(p.expr, doc)
+		val, err := p.eval.EvalString(p.expr, doc)
 		if err != nil {
 			return OutParseError
 		}
@@ -143,7 +154,9 @@ func (p *Pipeline) Process(uc workload.UseCase, req *httpmsg.Request) Outcome {
 		}
 		return OutNoMatch
 	case workload.SV:
-		doc, err := xmldom.Parse(req.Body)
+		sp := xmldom.AcquireStreamParser()
+		defer sp.Release()
+		doc, err := sp.Parse(req.Body)
 		if err != nil {
 			return OutParseError
 		}
@@ -167,7 +180,9 @@ func (p *Pipeline) Process(uc workload.UseCase, req *httpmsg.Request) Outcome {
 		}
 		return OutNoMatch
 	case workload.XJ:
-		doc, err := xmldom.Parse(req.Body)
+		sp := xmldom.AcquireStreamParser()
+		defer sp.Release()
+		doc, err := sp.Parse(req.Body)
 		if err != nil {
 			return OutParseError
 		}
@@ -176,8 +191,9 @@ func (p *Pipeline) Process(uc workload.UseCase, req *httpmsg.Request) Outcome {
 			return OutParseError
 		}
 		// Protocol translation rewrites the message in place: the JSON
-		// body (and its headers) ride onward through forwarding, or back
-		// to the client in in-place mode.
+		// body (a fresh buffer — it must outlive this call) and its
+		// headers ride onward through forwarding, or back to the client
+		// in in-place mode.
 		req.Body = translated
 		setHeader(req, "Content-Type", "application/json")
 		setHeader(req, "Content-Length", strconv.Itoa(len(translated)))

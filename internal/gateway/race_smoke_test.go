@@ -1,0 +1,142 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+	"repro/internal/xj"
+	"repro/internal/xmldom"
+)
+
+// TestPooledReuseRaceSmoke hammers the pooled hot path in the shapes
+// most likely to expose a lifetime bug in buffer recycling: pipelined
+// keep-alive bursts (several requests in flight on one connection),
+// mixed use cases churning the shared pools from many connections at
+// once, and slow-loris stallers holding partial headers while frames
+// recycle around them. The XJ connections assert byte-exact response
+// bodies against an off-path DOM translation — a recycled frame or
+// response buffer overwritten while its response is still being written
+// shows up here as corrupt JSON even when the race detector's sampling
+// misses the unsynchronized access.
+func TestPooledReuseRaceSmoke(t *testing.T) {
+	srv := startServer(t, Config{Workers: 4, IdleTimeout: 2 * time.Second})
+	addr := srv.Addr().String()
+
+	// Expected XJ translations, computed with the plain DOM parser so the
+	// oracle shares no pooled state with the server under test.
+	const pool = 8
+	expected := make([][]byte, pool)
+	for i := range expected {
+		doc, err := xmldom.Parse(workload.SOAPMessage(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if expected[i], err = xj.Translate(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	fail := func(format string, args ...any) {
+		select {
+		case errCh <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// Slow-loris stallers: park half-written headers on live connections
+	// while the pools churn, then vanish.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				fail("loris dial: %v", err)
+				return
+			}
+			defer c.Close()
+			if _, err := c.Write([]byte("POST /service/XJ HTTP/1.1\r\nContent-Le")); err != nil {
+				fail("loris write: %v", err)
+				return
+			}
+			time.Sleep(300 * time.Millisecond)
+		}()
+	}
+
+	// Pipelined XJ connections: bursts of three requests written
+	// back-to-back, responses checked byte-for-byte in order.
+	const depth, rounds = 3, 25
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				fail("xj dial: %v", err)
+				return
+			}
+			defer c.Close()
+			br := bufio.NewReaderSize(c, 32<<10)
+			var batch []byte
+			for round := 0; round < rounds; round++ {
+				var idx [depth]int
+				batch = batch[:0]
+				for k := 0; k < depth; k++ {
+					idx[k] = (g + round*depth + k) % pool
+					batch = append(batch, workload.HTTPRequest(idx[k], workload.XJ)...)
+				}
+				if _, err := c.Write(batch); err != nil {
+					fail("xj conn %d write: %v", g, err)
+					return
+				}
+				for k := 0; k < depth; k++ {
+					resp, err := readResponse(br)
+					if err != nil {
+						fail("xj conn %d round %d: %v", g, round, err)
+						return
+					}
+					if resp.Status != 200 || resp.Outcome != "translated" {
+						fail("xj conn %d round %d: status=%d outcome=%q", g, round, resp.Status, resp.Outcome)
+						return
+					}
+					if !bytes.Equal(resp.Body, expected[idx[k]]) {
+						fail("xj conn %d round %d msg %d: corrupt body\n got %q\nwant %q",
+							g, round, idx[k], resp.Body, expected[idx[k]])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Mixed-use-case churn across additional connections, so frames and
+	// response buffers of different sizes interleave in the same pools.
+	for _, uc := range []workload.UseCase{workload.FR, workload.CBR, workload.SV, workload.DPI} {
+		wg.Add(1)
+		go func(uc workload.UseCase) {
+			defer wg.Done()
+			rep, err := RunLoad(LoadConfig{Addr: addr, UseCase: uc, Conns: 3, Messages: 150})
+			if err != nil {
+				fail("%s load: %v", uc, err)
+				return
+			}
+			if rep.OK != 150 {
+				fail("%s load: ok=%d of 150 (%+v)", uc, rep.OK, rep)
+			}
+		}(uc)
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

@@ -170,23 +170,10 @@ func (p *parser) readLine() (string, error) {
 	return "", &ParseError{Offset: start, Msg: "unterminated line"}
 }
 
-// FormatRequest serializes a request.
+// FormatRequest serializes a request into a fresh buffer. Hot paths use
+// FormatRequestTo with a pooled dst instead.
 func FormatRequest(r *Request) []byte {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s %s %s\r\n", r.Method, r.Target, r.Proto)
-	hasClen := false
-	for _, h := range r.Headers {
-		fmt.Fprintf(&b, "%s: %s\r\n", h.Name, h.Value)
-		if strings.EqualFold(h.Name, "Content-Length") {
-			hasClen = true
-		}
-	}
-	if !hasClen && len(r.Body) > 0 {
-		fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
-	}
-	b.WriteString("\r\n")
-	b.Write(r.Body)
-	return []byte(b.String())
+	return FormatRequestTo(nil, r)
 }
 
 // Response is a minimal HTTP response.
@@ -197,20 +184,10 @@ type Response struct {
 	Body    []byte
 }
 
-// FormatResponse serializes a response.
+// FormatResponse serializes a response into a fresh buffer. Hot paths
+// use FormatResponseTo with a pooled dst instead.
 func FormatResponse(r *Response) []byte {
-	var b strings.Builder
-	reason := r.Reason
-	if reason == "" {
-		reason = StatusText(r.Status)
-	}
-	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.Status, reason)
-	for _, h := range r.Headers {
-		fmt.Fprintf(&b, "%s: %s\r\n", h.Name, h.Value)
-	}
-	fmt.Fprintf(&b, "Content-Length: %d\r\n\r\n", len(r.Body))
-	b.Write(r.Body)
-	return []byte(b.String())
+	return FormatResponseTo(nil, r)
 }
 
 // StatusText maps the status codes the proxy uses.
@@ -224,6 +201,8 @@ func StatusText(code int) string {
 		return "Not Found"
 	case 422:
 		return "Unprocessable Entity"
+	case 500:
+		return "Internal Server Error"
 	case 502:
 		return "Bad Gateway"
 	case 503:

@@ -5,15 +5,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/httpmsg"
 	"repro/internal/lhist"
 )
 
@@ -141,26 +140,34 @@ func (s *BackendServer) handle(c net.Conn) {
 		s.wg.Done()
 	}()
 	br := bufio.NewReaderSize(c, 32<<10)
+	// Per-connection scratch, reused across the keep-alive stream: the
+	// request-line buffer frameRequest fills, the write buffer the ack is
+	// serialized into, the ack body, and the Response header scratch.
+	var (
+		lbuf, wbuf, bbuf []byte
+		ackRes           = httpmsg.Response{Status: 200, Headers: jsonCT}
+	)
 	for {
-		reqLine, body, n, err := frameRequest(br, isControlPost)
+		reqLine, body, n, err := frameRequest(br, lbuf[:0], isControlPost)
 		if err != nil {
 			return
 		}
+		lbuf = reqLine
 		s.BytesIn.Add(uint64(n))
-		method, target, _ := strings.Cut(reqLine, " ")
-		path, _, _ := strings.Cut(target, " ")
-		path = strings.TrimSuffix(strings.TrimSpace(path), "/")
-		if method == "GET" || body != nil {
+		method, target, _ := bytes.Cut(reqLine, []byte(" "))
+		path, _, _ := bytes.Cut(target, []byte(" "))
+		path = bytes.TrimSuffix(bytes.TrimSpace(path), []byte("/"))
+		if string(method) == "GET" || body != nil {
 			// Control plane: /stats and /fault bypass fault injection,
 			// delay, and the message counters, so observability and fault
 			// scripting survive a fault storm — mirroring the gateway's
 			// GET fast path.
 			var resp []byte
 			switch {
-			case method == "GET" && strings.HasSuffix(path, "stats"):
+			case string(method) == "GET" && bytes.HasSuffix(path, []byte("stats")):
 				s.StatsRequests.Add(1)
 				resp = jsonResponse(200, "OK", s.Stats())
-			case method == "GET" && strings.HasSuffix(path, "fault"):
+			case string(method) == "GET" && bytes.HasSuffix(path, []byte("fault")):
 				resp = jsonResponse(200, "OK", s.FaultState())
 			case body != nil:
 				s.FaultPosts.Add(1)
@@ -186,18 +193,19 @@ func (s *BackendServer) handle(c net.Conn) {
 		if delay := s.cfg.Delay + time.Duration(s.extraDelayNS.Load()); delay > 0 {
 			time.Sleep(delay)
 		}
-		var resp []byte
 		if s.errorHit(seq) {
 			// Injected error: a served 500, so the forwarder sees an HTTP
 			// failure rather than an IO error.
 			s.Errored.Add(1)
-			resp = jsonResponse(500, "Internal Server Error",
-				map[string]any{"backend": s.cfg.Name, "seq": seq, "error": "injected"})
+			wbuf = append(wbuf[:0], jsonResponse(500, "Internal Server Error",
+				map[string]any{"backend": s.cfg.Name, "seq": seq, "error": "injected"})...)
 		} else {
-			resp = s.response(seq)
+			bbuf = s.appendAck(bbuf[:0], seq)
+			wbuf = httpmsg.AppendResponseHeader(wbuf[:0], &ackRes, len(bbuf))
+			wbuf = append(wbuf, bbuf...)
 			s.Requests.Add(1)
 		}
-		w, err := c.Write(resp)
+		w, err := c.Write(wbuf)
 		s.BytesOut.Add(uint64(w))
 		s.Latency.Observe(time.Since(t0))
 		if err != nil {
@@ -208,13 +216,13 @@ func (s *BackendServer) handle(c net.Conn) {
 
 // isControlPost marks the requests whose bodies frameRequest captures
 // rather than discards: the POST /fault control spec.
-func isControlPost(reqLine string, clen int) bool {
-	method, target, _ := strings.Cut(reqLine, " ")
-	if method != "POST" || clen > 8<<10 {
+func isControlPost(reqLine []byte, clen int) bool {
+	method, target, _ := bytes.Cut(reqLine, []byte(" "))
+	if string(method) != "POST" || clen > 8<<10 {
 		return false
 	}
-	path, _, _ := strings.Cut(target, " ")
-	return strings.HasSuffix(strings.TrimSuffix(strings.TrimSpace(path), "/"), "fault")
+	path, _, _ := bytes.Cut(target, []byte(" "))
+	return bytes.HasSuffix(bytes.TrimSuffix(bytes.TrimSpace(path), []byte("/")), []byte("fault"))
 }
 
 // BackendStats is the GET /stats JSON shape — the backend's
@@ -264,71 +272,108 @@ func (s *BackendServer) Stats() BackendStats {
 	}
 }
 
-// jsonResponse wraps v as an HTTP/1.1 JSON response.
+// jsonCT is the shared Content-Type header set for every backend
+// response; read-only, so the per-connection Response scratch and the
+// control plane share it.
+var jsonCT = []httpmsg.Header{{Name: "Content-Type", Value: "application/json"}}
+
+// jsonResponse wraps v as an HTTP/1.1 JSON response. Control-plane only
+// (stats scrapes, fault scripting) — the data path serializes acks into
+// per-connection buffers via appendAck instead.
 func jsonResponse(status int, phrase string, v any) []byte {
 	body, _ := json.MarshalIndent(v, "", "  ")
-	var b bytes.Buffer
-	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n",
-		status, phrase, len(body))
-	b.Write(body)
-	return b.Bytes()
+	return httpmsg.FormatResponseTo(nil, &httpmsg.Response{
+		Status:  status,
+		Reason:  phrase,
+		Headers: jsonCT,
+		Body:    body,
+	})
 }
 
-// response builds the padded JSON ack.
-func (s *BackendServer) response(seq uint64) []byte {
-	var body bytes.Buffer
-	fmt.Fprintf(&body, `{"backend":%q,"seq":%d,"requests":%d`, s.cfg.Name, seq, s.Requests.Load()+1)
-	if pad := s.cfg.RespBytes - body.Len() - 9; pad > 0 {
-		body.WriteString(`,"pad":"`)
-		body.Write(bytes.Repeat([]byte{'x'}, pad))
-		body.WriteByte('"')
+// appendAck appends the padded JSON ack body to dst and returns the
+// extended slice — the append-to-dst twin of the old bytes.Buffer
+// builder, byte-identical including the pad arithmetic.
+func (s *BackendServer) appendAck(dst []byte, seq uint64) []byte {
+	dst = append(dst, `{"backend":`...)
+	dst = strconv.AppendQuote(dst, s.cfg.Name)
+	dst = append(dst, `,"seq":`...)
+	dst = strconv.AppendUint(dst, seq, 10)
+	dst = append(dst, `,"requests":`...)
+	dst = strconv.AppendUint(dst, s.Requests.Load()+1, 10)
+	if pad := s.cfg.RespBytes - len(dst) - 9; pad > 0 {
+		dst = append(dst, `,"pad":"`...)
+		for i := 0; i < pad; i++ {
+			dst = append(dst, 'x')
+		}
+		dst = append(dst, '"')
 	}
-	body.WriteByte('}')
-	var b bytes.Buffer
-	fmt.Fprintf(&b, "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", body.Len())
-	b.Write(body.Bytes())
-	return b.Bytes()
+	return append(dst, '}')
 }
+
+// clenKey is the header name the backend frames on.
+var clenKey = []byte("Content-Length")
 
 // frameRequest frames one HTTP/1.1 request off the wire (header block to
-// the blank line, then Content-Length body bytes). The body is normally
-// thrown away — the backend's job is to terminate the hop, not to
-// re-process XML the gateway already handled — except when the capture
-// predicate claims the request (the /fault control plane), in which case
-// the body is read into memory and returned non-nil. Returns the request
-// line, the captured body (nil when discarded), and the wire size.
-func frameRequest(br *bufio.Reader, capture func(reqLine string, clen int) bool) (string, []byte, int, error) {
+// the blank line, then Content-Length body bytes). Header lines are
+// scanned as buffered-reader views — no per-line allocation — and the
+// request line is copied into buf, whose grown backing the caller hands
+// back on the next call so the keep-alive stream settles into zero
+// framing allocations. The body is normally thrown away — the backend's
+// job is to terminate the hop, not to re-process XML the gateway already
+// handled — except when the capture predicate claims the request (the
+// /fault control plane), in which case the body is read into memory and
+// returned non-nil. Returns the request line (valid until the next call
+// reuses buf), the captured body (nil when discarded), and the wire size.
+func frameRequest(br *bufio.Reader, buf []byte, capture func(reqLine []byte, clen int) bool) ([]byte, []byte, int, error) {
 	total := 0
 	clen := 0
-	reqLine := ""
+	reqLine := buf[:0]
+	sawReqLine := false
 	for {
-		line, err := br.ReadString('\n')
-		if err != nil {
-			if err == io.EOF && total == 0 && line == "" {
-				return "", nil, 0, io.EOF
+		line, err := br.ReadSlice('\n')
+		if err == bufio.ErrBufferFull {
+			// A header line longer than the reader window: splice the
+			// pieces into buf past the saved request line so the view
+			// survives the next fill.
+			keep := len(reqLine)
+			reqLine = append(reqLine, line...)
+			for err == bufio.ErrBufferFull {
+				line, err = br.ReadSlice('\n')
+				reqLine = append(reqLine, line...)
+				if total+len(reqLine)-keep > 64<<10 {
+					return nil, nil, 0, errors.New("backend: header block too large")
+				}
 			}
-			return "", nil, 0, err
+			line = reqLine[keep:]
+			reqLine = reqLine[:keep]
+		}
+		if err != nil {
+			if err == io.EOF && total == 0 && len(line) == 0 {
+				return nil, nil, 0, io.EOF
+			}
+			return nil, nil, 0, err
 		}
 		total += len(line)
 		if total > 64<<10 {
-			return "", nil, 0, errors.New("backend: header block too large")
+			return nil, nil, 0, errors.New("backend: header block too large")
 		}
-		trimmed := strings.TrimRight(line, "\r\n")
-		if trimmed == "" {
-			if reqLine != "" {
+		trimmed := bytes.TrimRight(line, "\r\n")
+		if len(trimmed) == 0 {
+			if sawReqLine {
 				break
 			}
 			total = 0 // tolerate blank lines before the request line
 			continue
 		}
-		if reqLine == "" {
-			reqLine = trimmed
+		if !sawReqLine {
+			sawReqLine = true
+			reqLine = append(reqLine[:0], trimmed...)
 		}
-		if i := strings.IndexByte(trimmed, ':'); i > 0 {
-			if strings.EqualFold(strings.TrimSpace(trimmed[:i]), "Content-Length") {
-				n, err := strconv.Atoi(strings.TrimSpace(trimmed[i+1:]))
-				if err != nil || n < 0 {
-					return "", nil, 0, errors.New("backend: bad Content-Length")
+		if i := bytes.IndexByte(trimmed, ':'); i > 0 {
+			if bytes.EqualFold(bytes.TrimSpace(trimmed[:i]), clenKey) {
+				n, ok := parseClen(bytes.TrimSpace(trimmed[i+1:]))
+				if !ok || n < 0 {
+					return nil, nil, 0, errors.New("backend: bad Content-Length")
 				}
 				clen = n
 			}
@@ -338,14 +383,45 @@ func frameRequest(br *bufio.Reader, capture func(reqLine string, clen int) bool)
 	if capture != nil && capture(reqLine, clen) {
 		body = make([]byte, clen)
 		if _, err := io.ReadFull(br, body); err != nil {
-			return "", nil, 0, err
+			return nil, nil, 0, err
 		}
 		total += clen
 	} else if clen > 0 {
 		if _, err := io.CopyN(io.Discard, br, int64(clen)); err != nil {
-			return "", nil, 0, err
+			return nil, nil, 0, err
 		}
 		total += clen
 	}
 	return reqLine, body, total, nil
+}
+
+// parseClen is an allocation-free strconv.Atoi over the small integers
+// Content-Length carries, accepting the same optional sign.
+func parseClen(b []byte) (int, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		if i++; i == len(b) {
+			return 0, false
+		}
+	}
+	n := 0
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<50 {
+			return 0, false
+		}
+	}
+	if neg {
+		return -n, true
+	}
+	return n, true
 }

@@ -229,14 +229,23 @@ func (f *Forwarder) Close() {
 // backoff, fast-fails while the circuit is open, and never blocks past
 // (Retries+1) × (TryTimeout + backoff).
 func (f *Forwarder) RoundTrip(route string, raw []byte) (*Result, error) {
+	return f.RoundTripBuffers(route, raw, nil)
+}
+
+// RoundTripBuffers is RoundTrip for callers that keep the request header
+// and body in separate buffers (the gateway's zero-copy forward path):
+// the two segments go out in one vectored write (writev), so the body —
+// typically a view into the pooled request frame — is never copied into
+// a combined buffer. Both slices must stay valid until the call returns.
+func (f *Forwarder) RoundTripBuffers(route string, head, body []byte) (*Result, error) {
 	b, ok := f.backends[route]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoBackend, route)
 	}
-	return b.roundTrip(raw)
+	return b.roundTrip(head, body)
 }
 
-func (b *Backend) roundTrip(raw []byte) (*Result, error) {
+func (b *Backend) roundTrip(head, body []byte) (*Result, error) {
 	var lastErr error
 	tries := b.cfg.Retries + 1
 	for try := 1; try <= tries; try++ {
@@ -251,7 +260,7 @@ func (b *Backend) roundTrip(raw []byte) (*Result, error) {
 			return nil, fmt.Errorf("%s %s: %w", b.name, b.addr, ErrDown)
 		}
 		t0 := time.Now()
-		res, err := b.try(raw)
+		res, err := b.try(head, body)
 		if err == nil {
 			b.hp.onSuccess()
 			b.m.Forwarded.Add(1)
@@ -280,10 +289,12 @@ func (b *Backend) backoff(n int) {
 }
 
 // try performs one attempt on one connection: checkout (pool hit or
-// fresh dial), per-try deadline, write, read a full response. Any IO
-// error closes the socket — a keep-alive conn in unknown state must not
-// return to the pool.
-func (b *Backend) try(raw []byte) (*Result, error) {
+// fresh dial), per-try deadline, vectored write, read a full response.
+// Any IO error closes the socket — a keep-alive conn in unknown state
+// must not return to the pool. The net.Buffers is rebuilt per try:
+// WriteTo consumes its receiver, and a partially-written first try must
+// not leak its progress into the retry.
+func (b *Backend) try(head, body []byte) (*Result, error) {
 	pc, pooled, err := b.pool.get()
 	if err != nil {
 		b.m.Dials.Add(1) // the miss happened even though the dial failed
@@ -295,7 +306,13 @@ func (b *Backend) try(raw []byte) (*Result, error) {
 		b.m.Dials.Add(1)
 	}
 	pc.c.SetDeadline(time.Now().Add(b.cfg.TryTimeout))
-	if _, err := pc.c.Write(raw); err != nil {
+	if len(body) > 0 {
+		nb := net.Buffers{head, body}
+		if _, err := nb.WriteTo(pc.c); err != nil {
+			b.pool.discard(pc)
+			return nil, err
+		}
+	} else if _, err := pc.c.Write(head); err != nil {
 		b.pool.discard(pc)
 		return nil, err
 	}

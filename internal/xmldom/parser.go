@@ -21,20 +21,25 @@ type Parser struct {
 }
 
 // Parse parses a document without instrumentation. It is safe for
-// concurrent use: each call gets a private scratch arena (the synthetic
-// node addresses are emitted nowhere).
+// concurrent use, and allocates no synthetic-heap bookkeeping at all:
+// the micro-op stream goes nowhere, so node placement is skipped (every
+// SimAddr stays zero).
 func Parse(src []byte) (*Node, error) {
 	return ParseInstrumented(src, trace.Nop{}, 0, nil)
 }
 
 // ParseInstrumented parses a document while emitting the equivalent
 // micro-op stream to em. base is the synthetic address of src in the
-// simulated address space; arena provides node placement (nil allocates a
-// private scratch arena, which keeps concurrent uninstrumented parses
-// from sharing allocator state).
+// simulated address space; arena provides node placement (nil with a
+// real emitter allocates a private scratch arena, which keeps concurrent
+// parses from sharing allocator state). With a Nop emitter and no arena
+// the synthetic heap is skipped entirely — the live gateway path pays
+// nothing for the sim path's bookkeeping.
 func ParseInstrumented(src []byte, em trace.Emitter, base uint64, arena *trace.Arena) (*Node, error) {
 	if arena == nil {
-		arena = trace.NewArena(1<<40, 1<<26)
+		if _, nop := em.(trace.Nop); !nop {
+			arena = trace.NewArena(1<<40, 1<<26)
+		}
 	}
 	p := &Parser{src: src, em: em, base: base, arena: arena}
 	doc := p.newNode(Document, "")
@@ -70,8 +75,10 @@ func (p *Parser) errf(format string, args ...any) error {
 
 func (p *Parser) newNode(kind NodeKind, data string) *Node {
 	n := &Node{Kind: kind, Data: data}
-	n.SimAddr = p.arena.Alloc(nodeSimBytes + uint64(len(data)))
-	p.emitAlloc(n, len(data))
+	if p.arena != nil {
+		n.SimAddr = p.arena.Alloc(nodeSimBytes + uint64(len(data)))
+		p.emitAlloc(n, len(data))
+	}
 	return n
 }
 
@@ -130,52 +137,74 @@ func (p *Parser) scanName() (string, error) {
 	return string(p.src[start:p.pos]), nil
 }
 
-// scanEntity decodes one entity reference at p.pos (which points at '&').
-func (p *Parser) scanEntity() (string, error) {
+// errUnterminatedEntity is the decodeEntityAt message for a missing ';'.
+// The DOM parser reports it without advancing, unlike the other entity
+// errors — the sentinel keeps that behavior exact.
+const errUnterminatedEntity = "unterminated entity reference"
+
+// decodeEntityAt decodes one entity reference at src[pos] (which must
+// point at '&'). It returns the decoded text, the offset just past the
+// ';', and an empty msg — or a non-empty error message. Both the DOM
+// parser and the streaming tokenizer route through it, so the two accept
+// and reject exactly the same entity forms by construction.
+func decodeEntityAt(src []byte, pos int) (s string, next int, msg string) {
 	semi := -1
-	limit := p.pos + 12
-	if limit > len(p.src) {
-		limit = len(p.src)
+	limit := pos + 12
+	if limit > len(src) {
+		limit = len(src)
 	}
-	for i := p.pos + 1; i < limit; i++ {
-		if p.src[i] == ';' {
+	for i := pos + 1; i < limit; i++ {
+		if src[i] == ';' {
 			semi = i
 			break
 		}
 	}
 	if semi < 0 {
-		return "", p.errf("unterminated entity reference")
+		return "", pos, errUnterminatedEntity
 	}
-	name := string(p.src[p.pos+1 : semi])
-	p.emitNameRun(p.pos, semi+1)
-	p.pos = semi + 1
-	switch name {
-	case "lt":
-		return "<", nil
-	case "gt":
-		return ">", nil
-	case "amp":
-		return "&", nil
-	case "quot":
-		return `"`, nil
-	case "apos":
-		return "'", nil
+	name := src[pos+1 : semi]
+	next = semi + 1
+	switch {
+	case len(name) == 2 && name[0] == 'l' && name[1] == 't':
+		return "<", next, ""
+	case len(name) == 2 && name[0] == 'g' && name[1] == 't':
+		return ">", next, ""
+	case len(name) == 3 && name[0] == 'a' && name[1] == 'm' && name[2] == 'p':
+		return "&", next, ""
+	case len(name) == 4 && string(name) == "quot":
+		return `"`, next, ""
+	case len(name) == 4 && string(name) == "apos":
+		return "'", next, ""
 	}
-	if strings.HasPrefix(name, "#x") || strings.HasPrefix(name, "#X") {
-		v, err := strconv.ParseUint(name[2:], 16, 32)
+	if len(name) >= 2 && name[0] == '#' && (name[1] == 'x' || name[1] == 'X') {
+		v, err := strconv.ParseUint(string(name[2:]), 16, 32)
 		if err != nil {
-			return "", p.errf("bad character reference &%s;", name)
+			return "", next, "bad character reference &" + string(name) + ";"
 		}
-		return string(rune(v)), nil
+		return string(rune(v)), next, ""
 	}
-	if strings.HasPrefix(name, "#") {
-		v, err := strconv.ParseUint(name[1:], 10, 32)
+	if len(name) >= 1 && name[0] == '#' {
+		v, err := strconv.ParseUint(string(name[1:]), 10, 32)
 		if err != nil {
-			return "", p.errf("bad character reference &%s;", name)
+			return "", next, "bad character reference &" + string(name) + ";"
 		}
-		return string(rune(v)), nil
+		return string(rune(v)), next, ""
 	}
-	return "", p.errf("unknown entity &%s;", name)
+	return "", next, "unknown entity &" + string(name) + ";"
+}
+
+// scanEntity decodes one entity reference at p.pos (which points at '&').
+func (p *Parser) scanEntity() (string, error) {
+	s, next, msg := decodeEntityAt(p.src, p.pos)
+	if msg == errUnterminatedEntity {
+		return "", p.errf("%s", msg)
+	}
+	p.emitNameRun(p.pos, next)
+	p.pos = next
+	if msg != "" {
+		return "", p.errf("%s", msg)
+	}
+	return s, nil
 }
 
 func (p *Parser) scanAttrValue() (string, error) {

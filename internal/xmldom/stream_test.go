@@ -1,0 +1,150 @@
+package xmldom_test
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+	"repro/internal/xmldom"
+)
+
+// corpus is the seeded differential corpus: workload-generator output
+// (the traffic the gateway actually parses) plus grammar edge cases
+// covering every accept/reject path the two parsers share.
+func corpus() [][]byte {
+	docs := [][]byte{
+		// Workload traffic at a few sizes and indices (i%2 flips the CBR
+		// routing branch; seeded variants perturb content).
+		workload.SOAPMessage(0),
+		workload.SOAPMessage(1),
+		workload.SOAPMessageSized(2, 512),
+		workload.SOAPMessageSeeded(3, 2048, 7),
+		workload.InvalidSOAPMessage(4),
+		workload.InvalidSOAPMessageSized(5, 1024),
+	}
+	edges := []string{
+		// Well-formed shapes.
+		`<a/>`,
+		`<a></a>`,
+		`<a b="1" c='2'>x</a>`,
+		`<?xml version="1.0"?><a/>`,
+		`<?xml version="1.0"?><!--c--><!DOCTYPE a [<!ELEMENT a EMPTY>]><a/><!--tail-->`,
+		`<a><!--c--><?pi data?><![CDATA[<raw&>]]></a>`,
+		`<a>&lt;&gt;&amp;&quot;&apos;&#65;&#x41;</a>`,
+		`<a b="&lt;v&gt;"/>`,
+		`<ns:a xmlns:ns="u"><ns:b/></ns:a>`,
+		`<a xmlns="d"><b xmlns=""/></a>`,
+		"  \r\n\t<a> mixed <b>text</b> runs </a>\n ",
+		`<a b="1"c="2"/>`, // no space between attrs — accepted quirk
+		`<?xmlfoo?><a/>`,  // decl prefix-match quirk
+		`<a>x<b/>y<b/>z</a>`,
+		// Rejections.
+		``,
+		`   `,
+		`<a>`,
+		`<a></b>`,
+		`<a`,
+		`<a b/>`,
+		`<a b=>`,
+		`<a b="1" b="2"/>`,
+		`<a b="<"/>`,
+		`<a b="1/>`,
+		`<a>&unknown;</a>`,
+		`<a>&lt</a>`,
+		`<a>&#xZZ;</a>`,
+		`<a>&#;</a>`,
+		`<a/><b/>`,
+		`<a/>text`,
+		`<a/><?pi?>`,
+		`<!--only a comment-->`,
+		`<?foo?><a/>`,
+		`<!DOCTYPE a`,
+		`<?xml version="1.0"`,
+		`<a><!--unterminated</a>`,
+		`<a><![CDATA[unterminated</a>`,
+		`<a><?pi unterminated</a>`,
+		`<!a/>`,
+		`<a ="v"/>`,
+		`<a>&toolongentityname;</a>`,
+	}
+	for _, e := range edges {
+		docs = append(docs, []byte(e))
+	}
+	return docs
+}
+
+// sameTree asserts deep structural equality between a DOM-parser tree
+// and a streaming-parser tree (ignoring SimAddr, which only the
+// instrumented path populates).
+func sameTree(t *testing.T, want, got *xmldom.Node, path string) {
+	t.Helper()
+	if want.Kind != got.Kind {
+		t.Fatalf("%s: kind %v != %v", path, got.Kind, want.Kind)
+	}
+	if want.Name != got.Name || want.Prefix != got.Prefix || want.Local != got.Local || want.NS != got.NS {
+		t.Fatalf("%s: name %q/%q/%q/%q != %q/%q/%q/%q", path,
+			got.Name, got.Prefix, got.Local, got.NS, want.Name, want.Prefix, want.Local, want.NS)
+	}
+	if want.Data != got.Data {
+		t.Fatalf("%s: data %q != %q", path, got.Data, want.Data)
+	}
+	if len(want.Attrs) != len(got.Attrs) {
+		t.Fatalf("%s: %d attrs != %d", path, len(got.Attrs), len(want.Attrs))
+	}
+	for i := range want.Attrs {
+		if want.Attrs[i] != got.Attrs[i] {
+			t.Fatalf("%s: attr %d %+v != %+v", path, i, got.Attrs[i], want.Attrs[i])
+		}
+	}
+	if len(want.Children) != len(got.Children) {
+		t.Fatalf("%s: %d children != %d", path, len(got.Children), len(want.Children))
+	}
+	for i := range want.Children {
+		sameTree(t, want.Children[i], got.Children[i], path+"/"+want.Children[i].Kind.String())
+	}
+}
+
+// checkDifferential runs both parsers on src and asserts they agree on
+// accept/reject and, when accepting, produce equivalent trees.
+func checkDifferential(t *testing.T, sp *xmldom.StreamParser, src []byte) {
+	t.Helper()
+	domTree, domErr := xmldom.Parse(src)
+	streamTree, streamErr := sp.Parse(src)
+	if (domErr == nil) != (streamErr == nil) {
+		t.Fatalf("accept/reject mismatch on %q: dom err=%v, stream err=%v", src, domErr, streamErr)
+	}
+	if domErr != nil {
+		return
+	}
+	sameTree(t, domTree, streamTree, "doc")
+}
+
+// TestStreamVsDOMCorpus runs the seeded corpus deterministically (this
+// is what CI exercises; `go test -fuzz=FuzzStreamVsDOM` explores
+// further). The single reused StreamParser also exercises slab/arena
+// reset across documents.
+func TestStreamVsDOMCorpus(t *testing.T) {
+	sp := xmldom.AcquireStreamParser()
+	defer sp.Release()
+	for _, doc := range corpus() {
+		checkDifferential(t, sp, doc)
+	}
+	// Second pass over the same corpus: a parser that mis-resets pooled
+	// state produces wrong trees only on reuse.
+	for _, doc := range corpus() {
+		checkDifferential(t, sp, doc)
+	}
+}
+
+// FuzzStreamVsDOM is the differential fuzzer: any input where the
+// streaming tokenizer and the DOM parser disagree — on acceptance or on
+// tree shape — is a bug in one of them.
+func FuzzStreamVsDOM(f *testing.F) {
+	for _, doc := range corpus() {
+		f.Add(doc)
+	}
+	sp := xmldom.AcquireStreamParser()
+	defer sp.Release()
+	f.Fuzz(func(t *testing.T, src []byte) {
+		checkDifferential(t, sp, src)
+	})
+}

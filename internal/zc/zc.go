@@ -1,0 +1,22 @@
+// Package zc holds the one unsafe primitive the zero-copy hot path is
+// built on: viewing a byte slice as a string without copying.
+//
+// A view string aliases the bytes it was made from. The contract every
+// caller must keep is lifetime discipline: the view is only valid while
+// the backing buffer is alive and unmodified. The gateway's pooled
+// buffers enforce this structurally — a request frame is recycled only
+// after the write stage for its response has completed, and a pooled
+// parser's tree is dead once the parser is released — so no view ever
+// outlives its bytes.
+package zc
+
+import "unsafe"
+
+// String returns a string view over b without copying. The result aliases
+// b: it is valid only while b's backing array is alive and unmodified.
+func String(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
