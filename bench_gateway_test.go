@@ -84,6 +84,23 @@ func BenchmarkGatewayTracing(b *testing.B) {
 	}
 }
 
+// BenchmarkGatewayFRDTraced guards the distributed-tracing overhead:
+// the same FR round trip as BenchmarkGatewayFR with Config.Trace on, so
+// every request acquires a pooled recorder, stamps real spans around
+// every stage, and runs the tail-sampling decision (default 1-in-64
+// probabilistic keep). The acceptance bar is ns/op within ~3% of
+// BenchmarkGatewayFR — the recorder is pooled and span stamping is a
+// handful of time.Now calls, so the delta must stay in the noise of a
+// loopback round trip. BenchmarkGatewayFR itself must not move at all
+// (allocs/op 4, gated by cmd/benchguard): the untraced path costs two
+// nil checks and a pointer reset.
+func BenchmarkGatewayFRDTraced(b *testing.B) {
+	benchGatewayCfg(b, workload.FR, gateway.Config{
+		UseCase: workload.FR,
+		Trace:   true,
+	})
+}
+
 // BenchmarkGatewayFRForwarded is BenchmarkGatewayFR with a real upstream
 // hop: the gateway forwards every message to a loopback order backend
 // over the keep-alive pool and relays the ack. The delta against

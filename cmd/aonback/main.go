@@ -33,6 +33,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux (served only via -pprof)
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,18 +50,36 @@ func main() {
 	delay := flag.Duration("delay", 0, "per-request service delay")
 	failFirst := flag.Int("fail-first", 0, "drop the first N requests without responding (fault injection)")
 	seed := flag.Uint64("seed", 0, "seed for the deterministic error-rate fault draw")
+	traceNode := flag.String("trace-node", "", "node name stamped on this backend's trace spans (default -name; aonfleet passes role/id)")
+	traceCap := flag.Int("trace-cap", 0, "kept-trace ring capacity (0 = default 1024)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty = off)")
 	flag.Parse()
 
 	if *failFirst < 0 {
 		fmt.Fprintf(os.Stderr, "aonback: -fail-first must be >= 0, got %d\n", *failFirst)
 		os.Exit(2)
 	}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aonback: -pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "aonback: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "aonback: pprof:", err)
+			}
+		}()
+	}
 	srv, err := upstream.StartBackend(*addr, upstream.BackendConfig{
-		Name:      *name,
-		RespBytes: *respSize,
-		Delay:     *delay,
-		FailFirst: *failFirst,
-		Seed:      *seed,
+		Name:          *name,
+		RespBytes:     *respSize,
+		Delay:         *delay,
+		FailFirst:     *failFirst,
+		Seed:          *seed,
+		TraceNode:     *traceNode,
+		TraceCapacity: *traceCap,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aonback:", err)

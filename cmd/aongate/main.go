@@ -48,6 +48,23 @@
 // measurement. /stats gains a "capacity" section with the decision,
 // predicted-vs-observed error, and per-use-case model error.
 //
+// With -trace, the gateway runs the distributed tracing plane
+// (internal/dtrace): every request records real spans around
+// read/queue/parse/process/forward/write, adopts the client's
+// X-AON-Trace ID when present (aonload -trace-client, aoncamp
+// trace_every), propagates context on upstream forwards so aonback
+// records a joined server-side span, and tail-samples completed traces
+// into a ring served on GET /traces?last=N — shed/idle-reaped/5xx and
+// slow requests always kept, 1-in—trace-keep-every otherwise. Tail
+// outcomes additionally emit a rate-limited structured slow-request
+// line (trace ID, use case, outcome, per-stage breakdown) on stderr.
+// cmd/aontrace assembles /traces output across nodes into critical-path
+// reports; cmd/aonfleet scrapes it into a fleet-wide traces.jsonl.
+//
+// -pprof serves net/http/pprof on a separate listener (off by default):
+// aongate -pprof localhost:6060, then `go tool pprof
+// http://localhost:6060/debug/pprof/profile`.
+//
 // SIGINT/SIGTERM drains gracefully (bounded by -drain) and prints the
 // final metrics snapshot as JSON on stdout.
 package main
@@ -57,6 +74,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux (served only via -pprof)
 	"os"
 	"os/signal"
 	"runtime"
@@ -99,6 +120,13 @@ func main() {
 	minWorkers := flag.Int("min-workers", 0, "adaptive mode: pool floor (0 = default 1)")
 	maxWorkers := flag.Int("max-workers", 0, "adaptive mode: pool ceiling (0 = default 4x -workers)")
 	maxInflight := flag.Int64("max-inflight", 0, "adaptive mode: admission-bound ceiling (0 = default 16x(workers+queue))")
+	trace := flag.Bool("trace", false, "run the distributed tracing plane: per-request spans, X-AON-Trace adoption/propagation, tail-sampled ring on GET /traces, slow-request log on stderr")
+	traceNode := flag.String("trace-node", "", "node name stamped on this gateway's spans (default gateway; aonfleet passes role/id)")
+	traceSlowOver := flag.Duration("trace-slow-over", 0, "tail sampling: always keep traces slower than this (0 = default 50ms, negative disables the slow rule)")
+	traceKeepEvery := flag.Int("trace-keep-every", 0, "tail sampling: keep 1 in N ordinary traces (0 = default 64)")
+	traceCap := flag.Int("trace-cap", 0, "kept-trace ring capacity (0 = default 256)")
+	slowLogPerSec := flag.Int("slow-log-rate", 0, "slow-request log lines per second before suppression (0 = default 10)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
 	uc, err := workload.ParseUseCase(*ucName)
@@ -145,6 +173,24 @@ func main() {
 		defer flushFile.Close()
 	}
 
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aongate: -pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "aongate: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "aongate: pprof:", err)
+			}
+		}()
+	}
+
+	var slowLog io.Writer
+	if *trace {
+		slowLog = os.Stderr
+	}
 	srv, err := gateway.New(gateway.Config{
 		UseCase:      uc,
 		Workers:      *workers,
@@ -174,6 +220,13 @@ func main() {
 		MinWorkers:            *minWorkers,
 		MaxWorkers:            *maxWorkers,
 		MaxInflight:           *maxInflight,
+		Trace:                 *trace,
+		TraceNode:             *traceNode,
+		TraceSlowOver:         *traceSlowOver,
+		TraceKeepEvery:        *traceKeepEvery,
+		TraceCapacity:         *traceCap,
+		SlowLog:               slowLog,
+		SlowLogPerSec:         *slowLogPerSec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aongate:", err)
@@ -207,6 +260,9 @@ func main() {
 	}
 	if *adaptive {
 		fmt.Fprintln(os.Stderr, "aongate: adaptive capacity control on (/stats carries the capacity section)")
+	}
+	if *trace {
+		fmt.Fprintln(os.Stderr, "aongate: distributed tracing on (GET /traces, slow-request log on stderr)")
 	}
 
 	sig := make(chan os.Signal, 1)

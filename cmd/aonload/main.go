@@ -35,6 +35,14 @@
 // the scaling table — the live analogue of the paper's per-phase
 // profile next to its scaling figures. -timeline runs a sampling
 // session inside each swept gateway.
+//
+// Against a tracing gateway (aongate -trace), -trace-client N originates
+// a distributed trace on every Nth request per connection: an
+// X-AON-Trace header carries a client-minted trace ID, the gateway
+// adopts it, and the report JSON gains a client_spans array — the
+// client's own view of each traced request, which cmd/aontrace (-load)
+// and cmd/aonfleet join with the gateway and backend spans into full
+// cross-node traces.
 package main
 
 import (
@@ -73,6 +81,8 @@ func main() {
 	sampleInterval := flag.Duration("sample-interval", 100*time.Millisecond, "sampling period for -timeline (must be positive)")
 	traceEvery := flag.Int("trace-every", 16, "sweep mode: trace 1 in every N requests through pipeline stages; per-stage table after the sweep (0 = off)")
 	targetP99 := flag.Duration("target-p99", 100*time.Millisecond, "sweep mode: p99 bound for the model table's admissible-load column")
+	traceClient := flag.Int("trace-client", 0, "originate a distributed trace every Nth request per connection via X-AON-Trace; traced requests land in the report's client_spans (0 = off)")
+	traceNode := flag.String("trace-node", "", "node name stamped on client spans (default client; aonfleet passes role/id)")
 	flag.Parse()
 
 	uc, err := workload.ParseUseCase(*ucName)
@@ -86,6 +96,10 @@ func main() {
 	}
 	if *traceEvery < 0 {
 		fmt.Fprintf(os.Stderr, "aonload: -trace-every must be >= 0, got %d\n", *traceEvery)
+		os.Exit(2)
+	}
+	if *traceClient < 0 {
+		fmt.Fprintf(os.Stderr, "aonload: -trace-client must be >= 0, got %d\n", *traceClient)
 		os.Exit(2)
 	}
 	if (*hwCounters || *timeline) && !hwcount.Supported() {
@@ -102,6 +116,8 @@ func main() {
 		InvalidEvery: *invalidEvery,
 		Timeout:      *timeout,
 		Seed:         *seed,
+		TraceEvery:   *traceClient,
+		TraceNode:    *traceNode,
 	}
 
 	if *sweep != "" {
@@ -200,6 +216,9 @@ func RunAndReport(cfg gateway.LoadConfig) (gateway.Report, error) {
 		"aonload: %s  %d conns  %.0f msgs/s  %.1f Mbps  p50=%dus p99=%dus  ok=%d shed=%d err=%d\n",
 		rep.UseCase, rep.Conns, rep.MsgsPerSec, rep.Mbps,
 		rep.Latency.P50US, rep.Latency.P99US, rep.OK, rep.Shed, rep.HTTPErrors+rep.NetErrors)
+	if n := len(rep.ClientSpans); n > 0 {
+		fmt.Fprintf(os.Stderr, "aonload: originated %d distributed traces (client_spans in the report)\n", n)
+	}
 	return rep, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dtrace"
 	"repro/internal/gateway"
 	"repro/internal/lhist"
 	"repro/internal/session"
@@ -178,7 +179,7 @@ func (r *runner) runPhase(p *Phase) (*PhaseReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("campaign: phase %s: %v", p.Name, err)
 	}
-	sp := newSenderPool(r.addr, r.timeout, requestPool(uc, p.InvalidEvery, r.spec.SizeBytes, r.spec.Seed))
+	sp := newSenderPool(r.addr, r.timeout, requestPool(uc, p.InvalidEvery, r.spec.SizeBytes, r.spec.Seed), r.spec.TraceEvery)
 
 	var lp *lorisPool
 	if p.Shape == ShapeSlowloris {
@@ -369,9 +370,12 @@ type senderPool struct {
 	addr    string
 	timeout time.Duration
 	pool    [][]byte
-	next    atomic.Uint64
-	stops   []chan struct{} // controller goroutine only
-	wg      sync.WaitGroup
+	// traceEvery originates an X-AON-Trace header on every Nth request
+	// per sender (0 = never) — Spec.TraceEvery.
+	traceEvery int
+	next       atomic.Uint64
+	stops      []chan struct{} // controller goroutine only
+	wg         sync.WaitGroup
 
 	sent, ok, shed, httpErr, netErr         atomic.Uint64
 	forwarded, match, routedErr, valid      atomic.Uint64
@@ -379,8 +383,8 @@ type senderPool struct {
 	hist                                    lhist.Hist
 }
 
-func newSenderPool(addr string, timeout time.Duration, pool [][]byte) *senderPool {
-	return &senderPool{addr: addr, timeout: timeout, pool: pool}
+func newSenderPool(addr string, timeout time.Duration, pool [][]byte, traceEvery int) *senderPool {
+	return &senderPool{addr: addr, timeout: timeout, pool: pool, traceEvery: traceEvery}
 }
 
 // resize brings the live sender count to n. Called from the envelope
@@ -417,6 +421,8 @@ func (sp *senderPool) run(stop chan struct{}) {
 			cl.Close()
 		}
 	}()
+	var k uint64 // per-sender request counter for trace origination
+	var trbuf []byte
 	for {
 		select {
 		case <-stop:
@@ -435,6 +441,18 @@ func (sp *senderPool) run(stop chan struct{}) {
 			cl = c
 		}
 		raw := sp.pool[sp.next.Add(1)%uint64(len(sp.pool))]
+		if sp.traceEvery > 0 {
+			if k%uint64(sp.traceEvery) == 0 {
+				// Originate a trace: the gateway adopts this ID, so the
+				// campaign exemplar assembles across nodes. The client
+				// span itself is not recorded — the campaign's view of
+				// the request is the phase histogram; the trace plane's
+				// is the gateway + backend spans under this ID.
+				trbuf = dtrace.InjectHeader(trbuf[:0], raw, dtrace.NewID(), dtrace.NewID())
+				raw = trbuf
+			}
+			k++
+		}
 		t0 := time.Now()
 		resp, err := cl.Do(raw, sp.timeout)
 		if err != nil {

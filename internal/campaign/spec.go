@@ -72,6 +72,11 @@ type Spec struct {
 	// TargetP99MS is the latency bound used for capacity model-error
 	// reporting (default 100ms).
 	TargetP99MS int `json:"target_p99_ms,omitempty"`
+	// TraceEvery originates a distributed trace on every Nth request per
+	// sender (0 = never): an X-AON-Trace header is spliced into the
+	// pooled request bytes so the gateway adopts the client's trace ID
+	// and the whole campaign exemplar is followable across the fleet.
+	TraceEvery int `json:"trace_every,omitempty"`
 	// Phases run in order; at least one is required.
 	Phases []Phase `json:"phases"`
 }
@@ -151,6 +156,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.TargetP99MS < 0 {
 		return fmt.Errorf("campaign: target_p99_ms must be positive, got %d", s.TargetP99MS)
+	}
+	if s.TraceEvery < 0 {
+		return fmt.Errorf("campaign: trace_every must be >= 0, got %d", s.TraceEvery)
 	}
 	if len(s.Phases) == 0 {
 		return fmt.Errorf("campaign: no phases")

@@ -90,6 +90,17 @@ type Config struct {
 	// GraceMS is the per-node SIGTERM→SIGKILL escalation budget at
 	// shutdown (default 10000).
 	GraceMS int `json:"grace_ms,omitempty"`
+	// Trace turns on the fleet's distributed-trace plane: launched
+	// gateways get -trace (tail-based sampling + GET /traces), every
+	// launched node gets -trace-node <role/id> so spans carry fleet
+	// identities, the load driver originates a trace every
+	// TraceClientEvery requests, and the scrape loop joins every node's
+	// kept spans into <out_dir>/traces.jsonl for cmd/aontrace. Off by
+	// default — the trace plane is opt-in per campaign.
+	Trace bool `json:"trace,omitempty"`
+	// TraceClientEvery originates a client-side trace every Nth request
+	// per connection (default 16 when Trace is set; ignored otherwise).
+	TraceClientEvery int `json:"trace_client_every,omitempty"`
 
 	Nodes []NodeConfig `json:"nodes"`
 	Sweep SweepConfig  `json:"sweep"`
@@ -133,6 +144,12 @@ func (c *Config) Validate() error {
 	}
 	if c.GraceMS <= 0 {
 		c.GraceMS = 10000
+	}
+	if c.TraceClientEvery < 0 {
+		return fmt.Errorf("fleet: trace_client_every %d, want >= 0", c.TraceClientEvery)
+	}
+	if c.Trace && c.TraceClientEvery == 0 {
+		c.TraceClientEvery = 16
 	}
 	if c.Sweep.Messages <= 0 {
 		c.Sweep.Messages = 1000

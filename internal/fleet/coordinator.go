@@ -28,6 +28,11 @@ type Coordinator struct {
 	writer  *SessionWriter
 	scraper *scraper
 
+	// traces and traceWriter are the fleet trace plane (nil unless
+	// Config.Trace): cross-node span store + traces.jsonl sink.
+	traces      *TraceStore
+	traceWriter *TraceWriter
+
 	scrapeStop chan struct{}
 	scrapeDone chan struct{}
 
@@ -113,9 +118,21 @@ func (c *Coordinator) Start() error {
 	c.writer = writer
 	c.merger = NewMerger(writer.Write)
 	c.scraper = newScraper(c.merger, c.cfg.ScrapeInterval()*4)
+	if c.cfg.Trace {
+		tw, err := NewTraceWriter(c.cfg.OutDir)
+		if err != nil {
+			return err
+		}
+		c.traceWriter = tw
+		c.traces = NewTraceStore(tw.Write)
+		c.scraper.traces = c.traces
+	}
 
 	for _, n := range c.byRole(RoleBackend) {
 		args := []string{"-addr", n.Addr, "-name", n.Endpoint}
+		if c.cfg.Trace {
+			args = append(args, "-trace-node", n.Key())
+		}
 		if err := c.bringUp(n, args); err != nil {
 			return err
 		}
@@ -123,6 +140,9 @@ func (c *Coordinator) Start() error {
 	orderAddr, errorAddr := c.backendAddrs()
 	for _, n := range c.byRole(RoleGateway) {
 		args := []string{"-addr", n.Addr, "-timeline"}
+		if c.cfg.Trace {
+			args = append(args, "-trace", "-trace-node", n.Key())
+		}
 		if orderAddr != "" {
 			args = append(args, "-order", orderAddr)
 		}
@@ -270,13 +290,22 @@ func (c *Coordinator) runLoad(target string, conns int) (gateway.Report, error) 
 		if err != nil {
 			return gateway.Report{}, err
 		}
-		return gateway.RunLoad(gateway.LoadConfig{
+		lc := gateway.LoadConfig{
 			Addr:     target,
 			UseCase:  uc,
 			Conns:    conns,
 			Messages: sw.Messages,
 			Size:     sw.SizeBytes,
-		})
+		}
+		if c.cfg.Trace {
+			lc.TraceEvery = c.cfg.TraceClientEvery
+			lc.TraceNode = "load/client"
+		}
+		rep, err := gateway.RunLoad(lc)
+		if err == nil {
+			c.foldClientSpans(rep)
+		}
+		return rep, err
 	}
 	outPath := filepath.Join(c.cfg.OutDir,
 		fmt.Sprintf("load-%s-c%d.json", sanitize(loadNode.ID), conns))
@@ -289,6 +318,10 @@ func (c *Coordinator) runLoad(target string, conns int) (gateway.Report, error) 
 	}
 	if sw.SizeBytes > 0 {
 		args = append(args, "-size", strconv.Itoa(sw.SizeBytes))
+	}
+	if c.cfg.Trace {
+		args = append(args, "-trace-client", strconv.Itoa(c.cfg.TraceClientEvery),
+			"-trace-node", loadNode.Key())
 	}
 	args = append(args, loadNode.Flags...)
 	logPath := filepath.Join(c.cfg.OutDir, sanitize(loadNode.Role+"-"+loadNode.ID)+".log")
@@ -313,8 +346,24 @@ func (c *Coordinator) runLoad(target string, conns int) (gateway.Report, error) 
 	if err := json.Unmarshal(b, &rep); err != nil {
 		return gateway.Report{}, fmt.Errorf("%s: report %s: %w", loadNode.Key(), outPath, err)
 	}
+	c.foldClientSpans(rep)
 	return rep, nil
 }
+
+// foldClientSpans joins a load report's client-side spans into the
+// fleet's trace store — the client vantage point completes the
+// cross-node trace (the gateway and backend contribute theirs via the
+// /traces scrape).
+func (c *Coordinator) foldClientSpans(rep gateway.Report) {
+	if c.traces == nil || len(rep.ClientSpans) == 0 {
+		return
+	}
+	c.traces.AddSpans(rep.ClientSpans)
+}
+
+// Traces exposes the fleet's cross-node span store (nil unless
+// Config.Trace).
+func (c *Coordinator) Traces() *TraceStore { return c.traces }
 
 // Finish stops the scrape loop, takes a final sample, renders every
 // artifact (per-node CSVs, the merged CSV, the combined report), and
@@ -328,6 +377,20 @@ func (c *Coordinator) Finish() (string, error) {
 	c.scrapeOnce()
 	if err := c.merger.SinkErr(); err != nil {
 		return "", err
+	}
+	if c.traces != nil {
+		if err := c.traces.SinkErr(); err != nil {
+			return "", err
+		}
+		asm := c.traces.Assemble()
+		cross := 0
+		for _, t := range asm {
+			if len(t.Nodes) > 1 {
+				cross++
+			}
+		}
+		c.Logf("traces: %d spans, %d assembled traces (%d cross-node) → %s",
+			c.traces.Len(), len(asm), cross, filepath.Join(c.cfg.OutDir, TracesJSONLName))
 	}
 	if err := WriteCSVs(c.cfg.OutDir, c.merger); err != nil {
 		return "", err
@@ -361,6 +424,12 @@ func (c *Coordinator) Shutdown() error {
 			c.Logf("session writer: %v", err)
 		}
 		c.writer = nil
+	}
+	if c.traceWriter != nil {
+		if err := c.traceWriter.Close(); err != nil {
+			c.Logf("trace writer: %v", err)
+		}
+		c.traceWriter = nil
 	}
 	var failed []string
 	for _, n := range order {

@@ -23,8 +23,13 @@ type scraper struct {
 	client *http.Client
 	merger *Merger
 
-	mu   sync.Mutex
-	prev map[string]prevCounters // node key → last cumulative view
+	// traces receives every node's tail-sampled spans when the fleet's
+	// trace plane is on (nil otherwise).
+	traces *TraceStore
+
+	mu       sync.Mutex
+	prev     map[string]prevCounters // node key → last cumulative view
+	noTraces map[string]bool         // node key → /traces answered 404 (tracing off)
 }
 
 // prevCounters is the previous cumulative observation for delta-based
@@ -41,9 +46,10 @@ func newScraper(merger *Merger, timeout time.Duration) *scraper {
 		timeout = 2 * time.Second
 	}
 	return &scraper{
-		client: &http.Client{Timeout: timeout},
-		merger: merger,
-		prev:   map[string]prevCounters{},
+		client:   &http.Client{Timeout: timeout},
+		merger:   merger,
+		prev:     map[string]prevCounters{},
+		noTraces: map[string]bool{},
 	}
 }
 
@@ -74,12 +80,66 @@ func (sc *scraper) getJSON(addr, path string, v any) error {
 func (sc *scraper) scrapeNode(n *Node) error {
 	switch n.Role {
 	case RoleGateway:
-		return sc.scrapeGateway(n)
+		if err := sc.scrapeGateway(n); err != nil {
+			return err
+		}
+		return sc.scrapeTraces(n)
 	case RoleBackend:
-		return sc.scrapeBackend(n)
+		if err := sc.scrapeBackend(n); err != nil {
+			return err
+		}
+		return sc.scrapeTraces(n)
 	default:
 		return nil
 	}
+}
+
+// scrapeTraces pulls a node's tail-sampled traces into the fleet's
+// cross-node span store. The rings are cumulative, so re-reads dedup in
+// the store. A node without tracing enabled answers 404 once and is
+// remembered as trace-less — an attached node running an older build or
+// without -trace must not spam the error log every tick.
+func (sc *scraper) scrapeTraces(n *Node) error {
+	if sc.traces == nil {
+		return nil
+	}
+	key := n.Key()
+	sc.mu.Lock()
+	skip := sc.noTraces[key]
+	sc.mu.Unlock()
+	if skip {
+		return nil
+	}
+	resp, err := sc.client.Get("http://" + n.Addr + "/traces")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		sc.mu.Lock()
+		sc.noTraces[key] = true
+		sc.mu.Unlock()
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := string(body)
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return fmt.Errorf("GET /traces: %s: %s", resp.Status, msg)
+	}
+	var tr gateway.TracesResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		return fmt.Errorf("GET /traces: %w", err)
+	}
+	for _, t := range tr.Traces {
+		sc.traces.AddSpans(t.Spans)
+	}
+	return nil
 }
 
 // scrapeAll sweeps every node once, collecting per-node errors keyed for

@@ -1,0 +1,416 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dtrace"
+	"repro/internal/upstream"
+	"repro/internal/workload"
+)
+
+// getTraces issues GET /traces against a gateway or backend address and
+// decodes the shared response shape.
+func getTraces(t *testing.T, addr, query string) TracesResponse {
+	t.Helper()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	path := "/traces"
+	if query != "" {
+		path += "?" + query
+	}
+	resp, err := cl.Do([]byte("GET "+path+" HTTP/1.1\r\nHost: x\r\n\r\n"), 5*time.Second)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("GET %s status %d body %s", path, resp.Status, resp.Body)
+	}
+	var tr TracesResponse
+	if err := json.Unmarshal(resp.Body, &tr); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v\n%s", path, err, resp.Body)
+	}
+	return tr
+}
+
+// TestDTraceForwardedEndToEnd is the tracing acceptance path: a traced
+// client drives FR through a tracing gateway that forwards to a real
+// order backend, and the three nodes' span sets must assemble into one
+// trace — client request span, adopted gateway stage spans, backend
+// serve span — joined purely by trace ID with intact parent links.
+func TestDTraceForwardedEndToEnd(t *testing.T) {
+	order := startBackend(t, upstream.BackendConfig{Name: "order"})
+	srv := startServer(t, Config{
+		Workers:        2,
+		Trace:          true,
+		TraceKeepEvery: 1, // keep every trace: the assertions are deterministic
+		Upstream:       upstream.Config{Order: order.Addr().String()},
+	})
+
+	rep, err := RunLoad(LoadConfig{
+		Addr:       srv.Addr().String(),
+		UseCase:    workload.FR,
+		Conns:      2,
+		Messages:   40,
+		TraceEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 40 || rep.Forwarded != 40 {
+		t.Fatalf("FR: ok=%d forwarded=%d, want 40/40", rep.OK, rep.Forwarded)
+	}
+	if len(rep.ClientSpans) != 40 {
+		t.Fatalf("client spans: got %d, want 40", len(rep.ClientSpans))
+	}
+	for _, sp := range rep.ClientSpans {
+		if sp.Node != "client" || sp.Name != "request" || sp.TraceID.IsZero() || sp.SpanID.IsZero() {
+			t.Fatalf("malformed client span %+v", sp)
+		}
+	}
+
+	// Gateway side: every request was traced and kept.
+	gw := getTraces(t, srv.Addr().String(), "")
+	if gw.Node != "gateway" {
+		t.Fatalf("gateway node=%q", gw.Node)
+	}
+	if gw.Tail.Seen != 40 || gw.Tail.Kept != 40 {
+		t.Fatalf("gateway tail seen=%d kept=%d, want 40/40", gw.Tail.Seen, gw.Tail.Kept)
+	}
+	// Backend side: every forwarded request carried the propagated header.
+	be := getTraces(t, order.Addr().String(), "")
+	if be.Node != "order" {
+		t.Fatalf("backend node=%q", be.Node)
+	}
+	if be.Tail.Kept != 40 {
+		t.Fatalf("backend tail kept=%d, want 40", be.Tail.Kept)
+	}
+
+	// Pool every span from all three vantage points and assemble.
+	var spans []dtrace.Span
+	spans = append(spans, rep.ClientSpans...)
+	for _, tr := range gw.Traces {
+		spans = append(spans, tr.Spans...)
+	}
+	for _, tr := range be.Traces {
+		spans = append(spans, tr.Spans...)
+	}
+	asm := dtrace.Assemble(spans)
+	if len(asm) != 40 {
+		t.Fatalf("assembled %d traces, want 40", len(asm))
+	}
+
+	wantStages := []string{"read", "queue", "parse", "process", "forward", "write"}
+	for _, at := range asm {
+		if got := strings.Join(at.Nodes, ","); got != "client,gateway,order" {
+			t.Fatalf("trace %v nodes=%q, want client,gateway,order", at.TraceID, got)
+		}
+		// Exactly one root: the client request span.
+		if len(at.Roots) != 1 {
+			t.Fatalf("trace %v has %d roots", at.TraceID, len(at.Roots))
+		}
+		var client, gwRoot, fwd, serve *dtrace.Span
+		byName := map[string]*dtrace.Span{}
+		for i := range at.Spans {
+			sp := &at.Spans[i]
+			switch {
+			case sp.Node == "client":
+				client = sp
+			case sp.Node == "gateway" && sp.Name == "gateway":
+				gwRoot = sp
+			case sp.Node == "gateway" && sp.Name == "forward":
+				fwd = sp
+			case sp.Node == "order" && sp.Name == "serve":
+				serve = sp
+			}
+			if sp.Node == "gateway" {
+				byName[sp.Name] = sp
+			}
+		}
+		if client == nil || gwRoot == nil || fwd == nil || serve == nil {
+			t.Fatalf("trace %v missing a span: client=%v gw=%v fwd=%v serve=%v",
+				at.TraceID, client != nil, gwRoot != nil, fwd != nil, serve != nil)
+		}
+		// Parent links: client → gateway root → forward → backend serve.
+		if gwRoot.ParentID != client.SpanID {
+			t.Fatalf("gateway root parent %v, want client span %v", gwRoot.ParentID, client.SpanID)
+		}
+		if fwd.ParentID != gwRoot.SpanID {
+			t.Fatalf("forward parent %v, want gateway root %v", fwd.ParentID, gwRoot.SpanID)
+		}
+		if serve.ParentID != fwd.SpanID {
+			t.Fatalf("serve parent %v, want forward span %v", serve.ParentID, fwd.SpanID)
+		}
+		if serve.TraceID != client.TraceID {
+			t.Fatalf("serve trace %v != client trace %v", serve.TraceID, client.TraceID)
+		}
+		for _, name := range wantStages {
+			if byName[name] == nil {
+				t.Fatalf("trace %v missing gateway stage %q (have %v)", at.TraceID, name, at.Spans)
+			}
+		}
+		if gwRoot.UseCase != "FR" || gwRoot.Outcome != "forwarded" || gwRoot.Status != 200 {
+			t.Fatalf("gateway root annotation %+v", gwRoot)
+		}
+	}
+
+	// The assembled report renders without error and names all nodes.
+	var buf bytes.Buffer
+	dtrace.FormatReport(&buf, asm, dtrace.ReportOptions{})
+	out := buf.String()
+	for _, want := range []string{"assembled traces: 40", "cross-node traces: 40/40", "order", "forward"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	// /stats carries the tail summary.
+	snap := srv.Snapshot()
+	if snap.Traces == nil || snap.Traces.Tail.Kept != 40 {
+		t.Fatalf("stats traces section %+v", snap.Traces)
+	}
+}
+
+// TestDTraceTailSampling exercises the probabilistic keep rule end to
+// end: with KeepEvery=8 and fast non-error requests, roughly 1-in-8
+// survive the tail decision.
+func TestDTraceTailSampling(t *testing.T) {
+	srv := startServer(t, Config{
+		Workers:        2,
+		Trace:          true,
+		TraceKeepEvery: 8,
+		TraceSlowOver:  -1, // disable the slow rule: loopback jitter must not flip keeps
+	})
+	rep, err := RunLoad(LoadConfig{Addr: srv.Addr().String(), UseCase: workload.FR, Conns: 2, Messages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 64 {
+		t.Fatalf("ok=%d, want 64", rep.OK)
+	}
+	tr := getTraces(t, srv.Addr().String(), "")
+	if tr.Tail.Seen != 64 {
+		t.Fatalf("tail seen=%d, want 64", tr.Tail.Seen)
+	}
+	if tr.Tail.Kept != 8 || tr.Tail.KeptProb != 8 {
+		t.Fatalf("tail kept=%d kept_prob=%d, want 8/8 (%+v)", tr.Tail.Kept, tr.Tail.KeptProb, tr.Tail)
+	}
+	// last=N slicing.
+	if got := getTraces(t, srv.Addr().String(), "last=3"); len(got.Traces) != 3 {
+		t.Fatalf("last=3 returned %d traces", len(got.Traces))
+	}
+}
+
+// TestDTraceShedKeptAndSlowLogged drives the queue-full path with
+// tracing on: shed requests must always survive tail sampling (they are
+// exactly the requests worth a post-mortem) and must emit structured
+// slow-request log lines.
+func TestDTraceShedKeptAndSlowLogged(t *testing.T) {
+	var slow syncBuffer
+	srv := startServer(t, Config{
+		Workers:        1,
+		QueueDepth:     1,
+		ProcessDelay:   20 * time.Millisecond,
+		Trace:          true,
+		TraceKeepEvery: 1 << 30, // effectively kill the probabilistic rule: only tail outcomes survive
+		TraceSlowOver:  -1,      // and the slow rule too
+		SlowLog:        &slow,
+	})
+
+	const conns = 8
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for m := 0; m < 10; m++ {
+				if _, err := cl.Do(workload.HTTPRequest(i*10+m, workload.FR), 5*time.Second); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	shed := srv.Metrics.Shed.Load()
+	if shed == 0 {
+		t.Fatal("no sheds under saturation — test premise broken")
+	}
+	tr := getTraces(t, srv.Addr().String(), "")
+	if tr.Tail.KeptErr != shed || tr.Tail.Kept != shed {
+		t.Fatalf("tail kept=%d kept_err=%d, want both == shed count %d", tr.Tail.Kept, tr.Tail.KeptErr, shed)
+	}
+	var found bool
+	for _, kept := range tr.Traces {
+		root := kept.Spans[0]
+		if root.Outcome != "shed" || root.Status != 503 {
+			t.Fatalf("kept trace root %+v, want outcome=shed status=503", root)
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("no kept shed traces")
+	}
+	log := slow.String()
+	if !strings.Contains(log, "slow-request trace=") || !strings.Contains(log, "outcome=shed") || !strings.Contains(log, "status=503") {
+		t.Fatalf("slow log missing shed line:\n%s", log)
+	}
+}
+
+// TestDTraceIdleTimeoutKept reaps a mid-request stall and asserts the
+// synthetic idle-timeout trace lands in the ring and the slow log.
+func TestDTraceIdleTimeoutKept(t *testing.T) {
+	var slow syncBuffer
+	srv := startServer(t, Config{
+		Workers:        1,
+		IdleTimeout:    100 * time.Millisecond,
+		Trace:          true,
+		TraceKeepEvery: 1 << 30,
+		TraceSlowOver:  -1,
+		SlowLog:        &slow,
+	})
+	c, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A partial request: headers promised, body never sent.
+	if _, err := c.Write([]byte("POST /order HTTP/1.1\r\nContent-Length: 100\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if srv.Metrics.IdleTimeouts.Load() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle timeout never fired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	tr := getTraces(t, srv.Addr().String(), "")
+	if tr.Tail.Kept != 1 || tr.Tail.KeptErr != 1 {
+		t.Fatalf("tail %+v, want exactly the idle-timeout trace kept", tr.Tail)
+	}
+	root := tr.Traces[0].Spans[0]
+	if root.Outcome != "idle-timeout" || root.Node != "gateway" {
+		t.Fatalf("kept root %+v, want outcome=idle-timeout", root)
+	}
+	if !strings.Contains(slow.String(), "outcome=idle-timeout") {
+		t.Fatalf("slow log missing idle-timeout line:\n%s", slow.String())
+	}
+}
+
+// TestDTraceDisabled404 checks /traces answers 404 when tracing is off
+// and that /stats omits the traces section.
+func TestDTraceDisabled404(t *testing.T) {
+	srv := startServer(t, Config{Workers: 1})
+	cl, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	resp, err := cl.Do([]byte("GET /traces HTTP/1.1\r\nHost: x\r\n\r\n"), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 {
+		t.Fatalf("GET /traces with tracing off: status %d, want 404", resp.Status)
+	}
+	if snap := srv.Snapshot(); snap.Traces != nil {
+		t.Fatalf("stats traces section present with tracing off: %+v", snap.Traces)
+	}
+}
+
+// TestDTraceConfigValidation rejects the nonsense knob values.
+func TestDTraceConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Trace: true, TraceCapacity: -1},
+		{SlowLogPerSec: -1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("New(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+// TestSlowLogRateLimit exercises the per-second budget and the
+// suppressed-count line directly.
+func TestSlowLogRateLimit(t *testing.T) {
+	var buf bytes.Buffer
+	l := &slowLogger{w: &buf, perSec: 2}
+	spans := []dtrace.Span{{TraceID: 1, SpanID: 2, Node: "gateway", Name: "gateway", DurUS: 1000, Outcome: "shed", Status: 503}}
+
+	// Pin the window to "now" and exhaust the budget.
+	l.sec = time.Now().Unix()
+	l.n = l.perSec
+	for i := 0; i < 3; i++ {
+		l.log(spans)
+	}
+	if got := buf.String(); got != "" {
+		t.Fatalf("over-budget lines emitted:\n%s", got)
+	}
+	if l.dropped != 3 {
+		t.Fatalf("dropped=%d, want 3", l.dropped)
+	}
+	// Roll the window: the suppression summary and the new line appear.
+	l.sec = 0
+	l.log(spans)
+	out := buf.String()
+	if !strings.Contains(out, "suppressed=3") {
+		t.Fatalf("missing suppression summary:\n%s", out)
+	}
+	if !strings.Contains(out, "slow-request trace=0000000000000001 uc=- outcome=shed status=503 total=1ms") {
+		t.Fatalf("missing rolled-window line:\n%s", out)
+	}
+}
+
+// TestDTraceParseErrorAnnotated asserts a malformed XML body is traced
+// with the parse-error outcome and a 400 status (not a tail keep —
+// 4xx is the client's fault — unless probabilistically sampled).
+func TestDTraceParseErrorAnnotated(t *testing.T) {
+	srv := startServer(t, Config{
+		Workers:        1,
+		Trace:          true,
+		TraceKeepEvery: 1,
+	})
+	cl, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	body := "<orde" // truncated XML
+	req := fmt.Sprintf("POST /service/CBR HTTP/1.1\r\nContent-Type: text/xml\r\nContent-Length: %d\r\n\r\n%s", len(body), body)
+	resp, err := cl.Do([]byte(req), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 400 {
+		t.Fatalf("status %d, want 400", resp.Status)
+	}
+	tr := getTraces(t, srv.Addr().String(), "")
+	if len(tr.Traces) != 1 {
+		t.Fatalf("kept %d traces, want 1", len(tr.Traces))
+	}
+	root := tr.Traces[0].Spans[0]
+	if root.Outcome != "parse-error" || root.Status != 400 {
+		t.Fatalf("root %+v, want outcome=parse-error status=400", root)
+	}
+}

@@ -31,12 +31,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dtrace"
 	"repro/internal/httpmsg"
 	"repro/internal/perf/trace"
 	"repro/internal/session"
 	"repro/internal/upstream"
 	"repro/internal/workload"
 	"repro/internal/xsd"
+	"repro/internal/zc"
 )
 
 // Config parameterizes a live gateway.
@@ -106,6 +108,37 @@ type Config struct {
 	// per-use-case per-stage histograms on /stats. 0 disables; negative
 	// is rejected by New.
 	TraceEvery int
+	// Trace enables distributed per-request tracing (internal/dtrace):
+	// every request records real spans around the
+	// read→queue→parse→process→forward→write stage points into a pooled
+	// recorder, adopts an inbound X-AON-Trace context (or mints one),
+	// propagates context on upstream forwards, and offers the finished
+	// trace to a tail-based sampler — shed/idle-reaped/5xx and slow
+	// requests are always kept, the fast majority 1-in-TraceKeepEvery —
+	// served on GET /traces. Orthogonal to TraceEvery's aggregate stage
+	// histograms.
+	Trace bool
+	// TraceNode names this process in recorded spans (default
+	// "gateway"); fleet mode passes the topology node key so assembled
+	// traces attribute time to the right process.
+	TraceNode string
+	// TraceSlowOver is the tail sampler's always-keep latency bound
+	// (default 50ms; negative disables the slow rule).
+	TraceSlowOver time.Duration
+	// TraceKeepEvery probabilistically keeps 1-in-N ordinary traces
+	// (default 64). Negative is rejected by New.
+	TraceKeepEvery int
+	// TraceCapacity bounds the kept-trace ring (default 256). Negative
+	// is rejected by New.
+	TraceCapacity int
+	// SlowLog, when set with Trace, receives one structured line per
+	// shed/idle-timeout/5xx request (trace ID, use case, stage
+	// breakdown), rate-limited to SlowLogPerSec lines per second
+	// (default 10) so overload can't amplify itself through logging.
+	SlowLog io.Writer
+	// SlowLogPerSec caps slow-request log lines per wall-clock second
+	// (default 10). Negative is rejected by New.
+	SlowLogPerSec int
 	// Adaptive turns on model-driven admission control: a periodic
 	// control loop feeds the analytic capacity model
 	// (internal/capacity) with windowed arrival-rate, latency, and
@@ -142,6 +175,12 @@ type job struct {
 
 	traced  bool          // this request is in the stage-trace sample
 	readDur time.Duration // wire→memory framing time (traced requests only)
+
+	// rec is the request's distributed-trace recorder (nil with tracing
+	// off). Ownership rides with the job: the reader attaches it before
+	// enqueue, the worker records stage spans into it, and the reader
+	// takes it back on the resp receive — never shared.
+	rec *dtrace.Recorder
 }
 
 // response carries a formatted answer from a worker back to the
@@ -158,6 +197,7 @@ type response struct {
 	close  bool // respond then close the connection
 	uc     workload.UseCase
 	traced bool // stamp the write stage on the way out
+	status int  // HTTP status (tail sampling's error rule reads it)
 }
 
 // Hot-path pools. Frames and bufio readers are owned by one connection
@@ -198,6 +238,7 @@ type Server struct {
 	counters  *counterSampler     // nil: measurement layer off
 	statsView *counterView        // the /stats scrape's own measurement windows
 	tracer    *stageTracer        // nil: stage tracing off
+	dtr       *dtraceState        // nil: distributed tracing off
 	timeline  *timelineState      // nil: no sampling session
 	capacity  *capacityLoop       // nil: adaptive admission off
 	Metrics   *Metrics
@@ -253,6 +294,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.TraceEvery < 0 {
 		return nil, fmt.Errorf("gateway: trace sampling ratio must be positive, got %d", cfg.TraceEvery)
+	}
+	if cfg.TraceKeepEvery < 0 {
+		return nil, fmt.Errorf("gateway: trace keep ratio must be positive, got %d", cfg.TraceKeepEvery)
+	}
+	if cfg.TraceCapacity < 0 {
+		return nil, fmt.Errorf("gateway: trace capacity must be positive, got %d", cfg.TraceCapacity)
+	}
+	if cfg.SlowLogPerSec < 0 {
+		return nil, fmt.Errorf("gateway: slow-log rate must be positive, got %d", cfg.SlowLogPerSec)
 	}
 	if cfg.TimelineFlushInterval < 0 {
 		return nil, fmt.Errorf("gateway: timeline flush interval must be positive, got %v", cfg.TimelineFlushInterval)
@@ -338,6 +388,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.TraceEvery > 0 {
 		s.tracer = newStageTracer(cfg.TraceEvery)
+	}
+	if cfg.Trace {
+		s.dtr = newDtraceState(cfg)
 	}
 	if cfg.Adaptive {
 		// Start wide open: the first model decision pulls the bound down
@@ -481,10 +534,12 @@ func (s *Server) handleConn(c net.Conn) {
 		// reports them on its existing paths.
 		var traced bool
 		var tRead time.Time
-		if s.tracer != nil {
+		if s.tracer != nil || s.dtr != nil {
 			if _, err := br.Peek(1); err == nil {
-				traced = s.tracer.sample()
-				if traced {
+				if s.tracer != nil {
+					traced = s.tracer.sample()
+				}
+				if traced || s.dtr != nil {
 					tRead = time.Now()
 				}
 			}
@@ -495,6 +550,13 @@ func (s *Server) handleConn(c net.Conn) {
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
 				s.Metrics.IdleTimeouts.Add(1)
+				if s.dtr != nil && len(raw) > 0 && !tRead.IsZero() {
+					// Reaped mid-request: keep a synthetic trace so the
+					// idle-timeout is findable in the tail ring.
+					rec := dtrace.GetRecorder(s.dtr.node)
+					rec.Begin("gateway", tRead)
+					s.dtr.finish(rec, "", "idle-timeout", 0)
+				}
 				return
 			}
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
@@ -532,7 +594,22 @@ func (s *Server) handleConn(c net.Conn) {
 			continue
 		}
 
+		// Distributed tracing records every request into a pooled
+		// recorder; the tail sampler decides at completion whether it
+		// survives. rec ownership rides with the job through the worker
+		// and returns with the resp receive.
+		var rec *dtrace.Recorder
+		if s.dtr != nil {
+			if tRead.IsZero() {
+				tRead = time.Now()
+			}
+			rec = dtrace.GetRecorder(s.dtr.node)
+			rec.Begin("gateway", tRead)
+		}
 		if s.stopping.Load() {
+			if rec != nil {
+				s.dtr.finish(rec, "", "draining", 503)
+			}
 			s.write(c, respDraining)
 			return
 		}
@@ -541,6 +618,9 @@ func (s *Server) handleConn(c net.Conn) {
 		// 503 happens here, at a bound the control loop moves at runtime.
 		if bound := s.admitBound.Load(); bound > 0 && s.inflight.Load() >= bound {
 			s.Metrics.Shed.Add(1)
+			if rec != nil {
+				s.dtr.finish(rec, "", "shed", 503)
+			}
 			if !s.write(c, respAdmitBound) {
 				return
 			}
@@ -551,19 +631,28 @@ func (s *Server) handleConn(c net.Conn) {
 		if traced {
 			j.traced, j.readDur = true, j.start.Sub(tRead)
 		}
+		if rec != nil {
+			rec.Add("read", tRead, j.start.Sub(tRead))
+			j.rec = rec
+		}
 		s.inflight.Add(1)
 		select {
 		case s.jobs <- j:
 			r := <-j.resp
-			j.raw = nil
+			j.raw, j.rec = nil, nil
 			jobPool.Put(j)
 			var tWrite time.Time
-			if r.traced {
+			if r.traced || rec != nil {
 				tWrite = time.Now()
 			}
 			ok := s.writeResp(c, &r, &nb)
 			if r.traced {
 				s.tracer.observe(r.uc, StageWrite, time.Since(tWrite))
+			}
+			if rec != nil {
+				rec.Add("write", tWrite, time.Since(tWrite))
+				rec.Finish(time.Now())
+				s.dtr.offer(rec)
 			}
 			s.inflight.Add(-1)
 			if !ok || r.close {
@@ -571,9 +660,12 @@ func (s *Server) handleConn(c net.Conn) {
 			}
 		default:
 			s.inflight.Add(-1)
-			j.raw = nil
+			j.raw, j.rec = nil, nil
 			jobPool.Put(j)
 			s.Metrics.Shed.Add(1)
+			if rec != nil {
+				s.dtr.finish(rec, "", "shed", 503)
+			}
 			if !s.write(c, respQueueFull) {
 				return
 			}
@@ -626,6 +718,7 @@ type wscratch struct {
 	upReq  httpmsg.Request
 	upHdrs []httpmsg.Header
 	upHead []byte // upstream request header block
+	trval  []byte // propagated X-AON-Trace header value scratch
 }
 
 func (s *Server) worker(id int, quit chan struct{}) {
@@ -664,12 +757,14 @@ func (s *Server) process(j *job, sc *wscratch) response {
 	// ProcessDelay fault-injection stall runs inside the process stage,
 	// so an emulated slower device shows up as process demand — which is
 	// what the capacity model (and adaptive admission) must see.
+	rec := j.rec
+	stamp := j.traced || rec != nil
 	var tDeq time.Time
-	if j.traced {
+	if stamp {
 		tDeq = time.Now()
 	}
 	var tWork time.Time
-	if j.traced {
+	if stamp {
 		tWork = time.Now()
 	}
 	req := &sc.req
@@ -680,11 +775,26 @@ func (s *Server) process(j *job, sc *wscratch) response {
 			s.tracer.observe(uc, StageQueue, tDeq.Sub(j.start))
 			s.tracer.observe(uc, StageParse, time.Since(tWork))
 		}
+		if rec != nil {
+			rec.Add("queue", j.start, tDeq.Sub(j.start))
+			rec.Add("parse", tWork, time.Since(tWork))
+			rec.Annotate(uc.String(), OutParseError.String(), 400)
+		}
 		s.Metrics.Done(OutParseError, uc, time.Since(j.start))
-		return response{head: formatError(400, err.Error(), true), close: true, uc: uc, traced: j.traced}
+		return response{head: formatError(400, err.Error(), true), close: true, uc: uc, traced: j.traced, status: 400}
+	}
+	if rec != nil {
+		// Adopt an inbound trace context (aonload/aoncamp originate
+		// traces by injecting the header); the zero-copy Get hands out a
+		// view, parsed without allocating.
+		if v, ok := req.Get(dtrace.Header); ok {
+			if tid, pid, ok := dtrace.ParseHeaderValueString(v); ok {
+				rec.Adopt(tid, pid)
+			}
+		}
 	}
 	var tParsed time.Time
-	if j.traced {
+	if stamp {
 		tParsed = time.Now()
 	}
 	uc := s.pipe.SelectUseCase(req.Target)
@@ -693,16 +803,26 @@ func (s *Server) process(j *job, sc *wscratch) response {
 	}
 	out := s.pipe.Process(uc, req)
 	var tProcessed time.Time
-	if j.traced {
+	if stamp {
 		tProcessed = time.Now()
+	}
+	if j.traced {
 		s.tracer.observe(uc, StageRead, j.readDur)
 		s.tracer.observe(uc, StageQueue, tDeq.Sub(j.start))
 		s.tracer.observe(uc, StageParse, tParsed.Sub(tWork))
 		s.tracer.observe(uc, StageProcess, tProcessed.Sub(tParsed))
 	}
+	if rec != nil {
+		rec.Add("queue", j.start, tDeq.Sub(j.start))
+		rec.Add("parse", tWork, tParsed.Sub(tWork))
+		rec.Add("process", tParsed, tProcessed.Sub(tParsed))
+	}
 	if out == OutParseError {
+		if rec != nil {
+			rec.Annotate(uc.String(), out.String(), 400)
+		}
 		s.Metrics.Done(out, uc, time.Since(j.start))
-		return response{head: formatError(400, "unprocessable message", false), uc: uc, traced: j.traced}
+		return response{head: formatError(400, "unprocessable message", false), uc: uc, traced: j.traced, status: 400}
 	}
 	connClose := false
 	if v, ok := req.Get("Connection"); ok && strings.EqualFold(v, "close") {
@@ -720,7 +840,7 @@ func (s *Server) process(j *job, sc *wscratch) response {
 	if s.fwd != nil && s.fwd.Has(route) {
 		// Forwarding mode: the paper's device proxies onward — relay the
 		// backend's answer (or map its failure to 502/504, never hang).
-		vbody, inline = s.forward(resp, route, uc, out, req, sc)
+		vbody, inline = s.forward(resp, route, uc, out, req, sc, rec)
 		if j.traced {
 			s.tracer.observe(uc, StageForward, time.Since(tProcessed))
 		}
@@ -742,6 +862,9 @@ func (s *Server) process(j *job, sc *wscratch) response {
 			inline = sc.body
 		}
 	}
+	if rec != nil {
+		rec.Annotate(uc.String(), out.String(), resp.Status)
+	}
 	s.Metrics.Done(out, uc, time.Since(j.start))
 	if connClose {
 		resp.Headers = append(resp.Headers, httpmsg.Header{Name: "Connection", Value: "close"})
@@ -750,7 +873,7 @@ func (s *Server) process(j *job, sc *wscratch) response {
 	head := httpmsg.AppendResponseHeader((*buf)[:0], resp, len(vbody)+len(inline))
 	head = append(head, inline...)
 	sc.hdrs = resp.Headers[:0] // keep the grown header backing
-	return response{head: head, body: vbody, buf: buf, close: connClose, uc: uc, traced: j.traced}
+	return response{head: head, body: vbody, buf: buf, close: connClose, uc: uc, traced: j.traced, status: resp.Status}
 }
 
 // appendVerdict appends the in-place routing verdict JSON — the append
@@ -771,9 +894,12 @@ func appendVerdict(dst []byte, uc, out, route string) []byte {
 // (unreachable/down) or 504 (timed out) — bounded by the upstream retry
 // budget, so the client never hangs on a dead backend. The upstream
 // request header is built in the worker's scratch and written vectored
-// with the body view, so forwarding copies no payload bytes. Returns
+// with the body view, so forwarding copies no payload bytes. With rec
+// set, the trace context propagates on an X-AON-Trace header whose
+// parent span ID is minted *before* the round trip — the backend's
+// serve span parents under the forward span it rode in on. Returns
 // (vectored body, inline body) for the caller's response formatting.
-func (s *Server) forward(resp *httpmsg.Response, route string, uc workload.UseCase, out Outcome, req *httpmsg.Request, sc *wscratch) (vbody, inline []byte) {
+func (s *Server) forward(resp *httpmsg.Response, route string, uc workload.UseCase, out Outcome, req *httpmsg.Request, sc *wscratch, rec *dtrace.Recorder) (vbody, inline []byte) {
 	up := &sc.upReq
 	*up = httpmsg.Request{
 		Method:  "POST",
@@ -788,9 +914,24 @@ func (s *Server) forward(resp *httpmsg.Response, route string, uc workload.UseCa
 		httpmsg.Header{Name: "X-AON-Outcome", Value: out.String()},
 		httpmsg.Header{Name: "X-AON-Usecase", Value: uc.String()},
 	)
+	var fwdID dtrace.ID
+	var tFwd time.Time
+	if rec != nil {
+		fwdID = dtrace.NewID()
+		sc.trval = dtrace.AppendHeaderValue(sc.trval[:0], rec.TraceID(), fwdID)
+		// The zc view over the worker's scratch is safe: the serializer
+		// below copies header values into upHead before the scratch is
+		// touched again.
+		up.Headers = append(up.Headers,
+			httpmsg.Header{Name: dtrace.Header, Value: zc.String(sc.trval)})
+		tFwd = time.Now()
+	}
 	sc.upHead = httpmsg.AppendRequestHeader(sc.upHead[:0], up, len(req.Body))
 	sc.upHdrs = up.Headers[:0]
 	res, err := s.fwd.RoundTripBuffers(route, sc.upHead, req.Body)
+	if rec != nil {
+		rec.Child(fwdID, "forward", tFwd, time.Since(tFwd))
+	}
 	if err != nil {
 		s.Metrics.UpstreamErrs.Add(1)
 		resp.Status = upstream.StatusFor(err)
@@ -839,6 +980,12 @@ func (s *Server) handleGet(raw []byte) []byte {
 		return jsonResponse(s.Snapshot())
 	case strings.HasSuffix(path, "timeline"):
 		tr, err := s.timelineResponse(query)
+		if err != nil {
+			return formatError(404, err.Error(), false)
+		}
+		return jsonResponse(tr)
+	case strings.HasSuffix(path, "traces"):
+		tr, err := s.tracesResponse(query)
 		if err != nil {
 			return formatError(404, err.Error(), false)
 		}
@@ -892,6 +1039,7 @@ func (s *Server) Snapshot() Snapshot {
 		snap.Stages = s.tracer.snapshot()
 	}
 	snap.Timeline = s.timelineInfo()
+	snap.Traces = s.traceInfo()
 	if s.capacity != nil {
 		snap.Capacity = s.capacity.snapshot()
 	}

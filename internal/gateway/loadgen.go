@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dtrace"
 	"repro/internal/httpmsg"
 	"repro/internal/workload"
 )
@@ -153,6 +154,15 @@ type LoadConfig struct {
 	// stream), so distinct campaign runs can drive distinct but
 	// reproducible traffic.
 	Seed uint64
+	// TraceEvery originates a distributed trace on every Nth request per
+	// connection (0 = never): an X-AON-Trace header is injected so the
+	// gateway adopts the client's trace ID, and the client's own
+	// request span lands in Report.ClientSpans — the client leg of
+	// cross-node trace assembly.
+	TraceEvery int
+	// TraceNode names this load generator in client spans (default
+	// "client").
+	TraceNode string
 }
 
 // Report is the load generator's final accounting, emitted as JSON by
@@ -178,7 +188,18 @@ type Report struct {
 	MsgsPerSec  float64      `json:"msgs_per_sec"`
 	Mbps        float64      `json:"mbps"` // request payload bits per second
 	Latency     HistSnapshot `json:"latency"`
+	// ClientSpans holds the client-side request spans of originated
+	// traces (TraceEvery > 0), bounded so a long run can't grow the
+	// report without limit. aontrace and the fleet coordinator join them
+	// with gateway/backend spans by trace ID.
+	ClientSpans []dtrace.Span `json:"client_spans,omitempty"`
 }
+
+// Client-span bounds: per connection and per merged report.
+const (
+	maxConnClientSpans   = 1024
+	maxReportClientSpans = 4096
+)
 
 // RunLoad drives a gateway with Conns concurrent connections posting
 // AONBench order documents, open-loop with keep-alive, and reports
@@ -198,6 +219,9 @@ func RunLoad(cfg LoadConfig) (Report, error) {
 	}
 	if cfg.Pool <= 0 {
 		cfg.Pool = 64
+	}
+	if cfg.TraceNode == "" {
+		cfg.TraceNode = "client"
 	}
 
 	// Pre-generate the request pool. Indices keep workload.SOAPMessage's
@@ -246,6 +270,7 @@ func RunLoad(cfg LoadConfig) (Report, error) {
 				return
 			}
 			defer cl.Close()
+			var trbuf []byte // trace-injected request scratch, reused
 			for k := 0; ; k++ {
 				if cfg.Messages > 0 && budget.Add(-1) < 0 {
 					return
@@ -254,8 +279,35 @@ func RunLoad(cfg LoadConfig) (Report, error) {
 					return
 				}
 				raw := pool[(connIdx+k*cfg.Conns)%len(pool)]
+				// Every TraceEvery-th request originates a trace: inject the
+				// context header (into a reused scratch copy — the shared
+				// pool entry is never mutated) and keep the client span.
+				var traceID, spanID dtrace.ID
+				traced := cfg.TraceEvery > 0 && k%cfg.TraceEvery == 0 &&
+					len(local.ClientSpans) < maxConnClientSpans
+				if traced {
+					traceID, spanID = dtrace.NewID(), dtrace.NewID()
+					trbuf = dtrace.InjectHeader(trbuf[:0], raw, traceID, spanID)
+					raw = trbuf
+				}
 				t0 := time.Now()
 				resp, err := cl.Do(raw, cfg.Timeout)
+				if traced {
+					sp := dtrace.Span{
+						TraceID: traceID,
+						SpanID:  spanID,
+						Node:    cfg.TraceNode,
+						Name:    "request",
+						StartUS: t0.UnixMicro(),
+						DurUS:   time.Since(t0).Microseconds(),
+					}
+					if err == nil {
+						sp.Outcome, sp.Status = resp.Outcome, resp.Status
+					} else {
+						sp.Outcome = "net-error"
+					}
+					local.ClientSpans = append(local.ClientSpans, sp)
+				}
 				if err != nil {
 					local.NetErrors++
 					return
@@ -336,4 +388,11 @@ func mergeReport(dst, src *Report) {
 	dst.ParseErrors += src.ParseErrors
 	dst.BytesOut += src.BytesOut
 	dst.BytesIn += src.BytesIn
+	if room := maxReportClientSpans - len(dst.ClientSpans); room > 0 {
+		spans := src.ClientSpans
+		if len(spans) > room {
+			spans = spans[:room]
+		}
+		dst.ClientSpans = append(dst.ClientSpans, spans...)
+	}
 }

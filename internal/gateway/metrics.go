@@ -149,6 +149,9 @@ type Snapshot struct {
 	// Timeline summarizes the sampling session (nil when none runs); the
 	// full ring is served by GET /timeline.
 	Timeline *TimelineInfo `json:"timeline,omitempty"`
+	// Traces summarizes the distributed-trace tail sampler (nil when
+	// Config.Trace is off); the kept traces are served by GET /traces.
+	Traces *TraceInfo `json:"traces,omitempty"`
 	// Capacity is the adaptive-admission control view (nil when
 	// Config.Adaptive is off): the model's latest observation, prediction,
 	// decision, and model-vs-measured error.

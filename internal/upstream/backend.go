@@ -7,11 +7,15 @@ import (
 	"errors"
 	"io"
 	"net"
+	"net/url"
+	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dtrace"
 	"repro/internal/httpmsg"
 	"repro/internal/lhist"
 )
@@ -36,6 +40,16 @@ type BackendConfig struct {
 	// Seed keys the deterministic error-rate draw (see FaultSpec), so a
 	// campaign rerun with the same seed errors the same requests.
 	Seed uint64
+	// TraceNode names this process in recorded serve spans (default the
+	// backend Name); fleet mode passes the topology node key.
+	TraceNode string
+	// TraceCapacity bounds the serve-span ring served on GET /traces
+	// (default 1024). Unlike the gateway, the backend keeps *every*
+	// request that arrives with an X-AON-Trace header — the gateway's
+	// tail sampler already decided those traces matter, and dropping a
+	// serve span here would break cross-node assembly — and lets ring
+	// eviction bound memory.
+	TraceCapacity int
 }
 
 // BackendServer is the minimal order/error endpoint of the paper's
@@ -64,6 +78,11 @@ type BackendServer struct {
 	errRateBits  atomic.Uint64 // math.Float64bits of the injected-500 rate
 	extraDelayNS atomic.Int64  // added per-response latency
 	downUntilNS  atomic.Int64  // outage window end (UnixNano; 0 = none)
+	lastFaultMS  atomic.Int64  // wall clock of the last applied /fault step
+
+	// traces holds serve spans for requests that carried an inbound
+	// X-AON-Trace header, joined cross-node by trace ID.
+	traces *dtrace.Tail
 
 	// Latency is the per-message service histogram (framing complete →
 	// response written, the configured Delay included).
@@ -83,11 +102,18 @@ func StartBackend(addr string, cfg BackendConfig) (*BackendServer, error) {
 	if cfg.RespBytes <= 0 {
 		cfg.RespBytes = 128
 	}
+	if cfg.TraceNode == "" {
+		cfg.TraceNode = cfg.Name
+	}
+	if cfg.TraceCapacity <= 0 {
+		cfg.TraceCapacity = 1024
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &BackendServer{cfg: cfg, ln: ln, start: time.Now(), conns: map[net.Conn]struct{}{}}
+	s.traces = dtrace.NewTail(dtrace.TailConfig{Capacity: cfg.TraceCapacity})
 	s.failNext.Store(int64(cfg.FailFirst))
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -141,27 +167,29 @@ func (s *BackendServer) handle(c net.Conn) {
 	}()
 	br := bufio.NewReaderSize(c, 32<<10)
 	// Per-connection scratch, reused across the keep-alive stream: the
-	// request-line buffer frameRequest fills, the write buffer the ack is
-	// serialized into, the ack body, and the Response header scratch.
+	// request-line buffer frameRequest fills, the captured trace-header
+	// value, the write buffer the ack is serialized into, the ack body,
+	// and the Response header scratch.
 	var (
-		lbuf, wbuf, bbuf []byte
-		ackRes           = httpmsg.Response{Status: 200, Headers: jsonCT}
+		lbuf, tbuf, wbuf, bbuf []byte
+		ackRes                 = httpmsg.Response{Status: 200, Headers: jsonCT}
 	)
 	for {
-		reqLine, body, n, err := frameRequest(br, lbuf[:0], isControlPost)
+		reqLine, body, traceVal, n, err := frameRequest(br, lbuf[:0], tbuf[:0], isControlPost)
 		if err != nil {
 			return
 		}
-		lbuf = reqLine
+		lbuf, tbuf = reqLine, traceVal[:0]
 		s.BytesIn.Add(uint64(n))
 		method, target, _ := bytes.Cut(reqLine, []byte(" "))
-		path, _, _ := bytes.Cut(target, []byte(" "))
-		path = bytes.TrimSuffix(bytes.TrimSpace(path), []byte("/"))
+		rawPath, _, _ := bytes.Cut(target, []byte(" "))
+		path, query, _ := bytes.Cut(bytes.TrimSpace(rawPath), []byte("?"))
+		path = bytes.TrimSuffix(path, []byte("/"))
 		if string(method) == "GET" || body != nil {
-			// Control plane: /stats and /fault bypass fault injection,
-			// delay, and the message counters, so observability and fault
-			// scripting survive a fault storm — mirroring the gateway's
-			// GET fast path.
+			// Control plane: /stats, /fault, and /traces bypass fault
+			// injection, delay, and the message counters, so observability
+			// and fault scripting survive a fault storm — mirroring the
+			// gateway's GET fast path.
 			var resp []byte
 			switch {
 			case string(method) == "GET" && bytes.HasSuffix(path, []byte("stats")):
@@ -169,6 +197,8 @@ func (s *BackendServer) handle(c net.Conn) {
 				resp = jsonResponse(200, "OK", s.Stats())
 			case string(method) == "GET" && bytes.HasSuffix(path, []byte("fault")):
 				resp = jsonResponse(200, "OK", s.FaultState())
+			case string(method) == "GET" && bytes.HasSuffix(path, []byte("traces")):
+				resp = jsonResponse(200, "OK", s.tracesResponse(query))
 			case body != nil:
 				s.FaultPosts.Add(1)
 				resp = s.handleFault(body)
@@ -186,17 +216,22 @@ func (s *BackendServer) handle(c net.Conn) {
 		seq := s.seq.Add(1)
 		if s.faultDrop(seq) {
 			// Injected fault: drop the connection mid-exchange so the
-			// forwarder sees an IO error, not an HTTP status.
+			// forwarder sees an IO error, not an HTTP status. The serve
+			// span is recorded anyway — a dropped hop is exactly the kind
+			// of span a cross-node post-mortem needs to see.
 			s.Failed.Add(1)
+			s.recordServe(traceVal, t0, time.Since(t0), 0, "dropped")
 			return
 		}
 		if delay := s.cfg.Delay + time.Duration(s.extraDelayNS.Load()); delay > 0 {
 			time.Sleep(delay)
 		}
+		status := 200
 		if s.errorHit(seq) {
 			// Injected error: a served 500, so the forwarder sees an HTTP
 			// failure rather than an IO error.
 			s.Errored.Add(1)
+			status = 500
 			wbuf = append(wbuf[:0], jsonResponse(500, "Internal Server Error",
 				map[string]any{"backend": s.cfg.Name, "seq": seq, "error": "injected"})...)
 		} else {
@@ -207,10 +242,64 @@ func (s *BackendServer) handle(c net.Conn) {
 		}
 		w, err := c.Write(wbuf)
 		s.BytesOut.Add(uint64(w))
-		s.Latency.Observe(time.Since(t0))
+		d := time.Since(t0)
+		s.Latency.Observe(d)
+		s.recordServe(traceVal, t0, d, status, "")
 		if err != nil {
 			return
 		}
+	}
+}
+
+// recordServe keeps one server-side span for a data-path request that
+// carried an X-AON-Trace header, parented under the gateway's forward
+// span (the header's span ID). No header, no work.
+func (s *BackendServer) recordServe(traceVal []byte, start time.Time, d time.Duration, status int, outcome string) {
+	if len(traceVal) == 0 {
+		return
+	}
+	tid, pid, ok := dtrace.ParseHeaderValue(traceVal)
+	if !ok {
+		return
+	}
+	s.traces.Keep(tid, []dtrace.Span{{
+		TraceID:  tid,
+		SpanID:   dtrace.NewID(),
+		ParentID: pid,
+		Node:     s.cfg.TraceNode,
+		Name:     "serve",
+		StartUS:  start.UnixMicro(),
+		DurUS:    d.Microseconds(),
+		Outcome:  outcome,
+		Status:   status,
+	}})
+}
+
+// backendTracesResponse mirrors the gateway's GET /traces JSON shape,
+// so the fleet scraper and aontrace read both ends with one decoder.
+type backendTracesResponse struct {
+	Node   string           `json:"node"`
+	Tail   dtrace.TailStats `json:"tail"`
+	Traces []dtrace.Trace   `json:"traces"`
+}
+
+// tracesResponse serves GET /traces?last=N (all kept traces when last
+// is absent or invalid).
+func (s *BackendServer) tracesResponse(query []byte) backendTracesResponse {
+	n := 0
+	if len(query) > 0 {
+		if vals, err := url.ParseQuery(string(query)); err == nil {
+			if raw := strings.TrimSpace(vals.Get("last")); raw != "" {
+				if v, err := strconv.Atoi(raw); err == nil && v > 0 {
+					n = v
+				}
+			}
+		}
+	}
+	return backendTracesResponse{
+		Node:   s.cfg.TraceNode,
+		Tail:   s.traces.Stats(),
+		Traces: s.traces.Last(n),
 	}
 }
 
@@ -231,22 +320,30 @@ func isControlPost(reqLine []byte, clen int) bool {
 // wall clock at snapshot time: cross-node merging aligns on each node's
 // monotonic timestamps, never on comparing clocks across machines.
 type BackendStats struct {
-	Name          string         `json:"name"`
-	TMS           int64          `json:"t_ms"`
-	UptimeSec     float64        `json:"uptime_sec"`
-	Requests      uint64         `json:"requests"`
-	Dropped       uint64         `json:"dropped"`
-	Errored       uint64         `json:"errored"`
-	StatsRequests uint64         `json:"stats_requests"`
-	FaultPosts    uint64         `json:"fault_posts"`
-	BytesIn       uint64         `json:"bytes_in"`
-	BytesOut      uint64         `json:"bytes_out"`
-	RespBytes     int            `json:"resp_bytes"`
-	DelayMS       float64        `json:"delay_ms"`
-	FailFirst     int            `json:"fail_first"`
-	FaultActive   bool           `json:"fault_active"`
-	Fault         FaultState     `json:"fault"`
-	Latency       lhist.Snapshot `json:"latency"`
+	Name      string  `json:"name"`
+	TMS       int64   `json:"t_ms"`
+	UptimeSec float64 `json:"uptime_seconds"`
+	// Goroutines is the live goroutine count — the quickest leak/stall
+	// tell a campaign post-mortem has from the backend side.
+	Goroutines    int     `json:"goroutines"`
+	Requests      uint64  `json:"requests"`
+	Dropped       uint64  `json:"dropped"`
+	Errored       uint64  `json:"errored"`
+	StatsRequests uint64  `json:"stats_requests"`
+	FaultPosts    uint64  `json:"fault_posts"`
+	BytesIn       uint64  `json:"bytes_in"`
+	BytesOut      uint64  `json:"bytes_out"`
+	RespBytes     int     `json:"resp_bytes"`
+	DelayMS       float64 `json:"delay_ms"`
+	FailFirst     int     `json:"fail_first"`
+	FaultActive   bool    `json:"fault_active"`
+	// LastFaultMS is the backend's wall clock (UnixMilli) when the most
+	// recent /fault step was applied; 0 when none ever was. Campaign
+	// post-mortems line it up with the fault script's acknowledgment log
+	// to tell when a storm step actually landed server-side.
+	LastFaultMS int64          `json:"last_fault_unix_ms"`
+	Fault       FaultState     `json:"fault"`
+	Latency     lhist.Snapshot `json:"latency"`
 }
 
 // Stats snapshots the live counters.
@@ -256,6 +353,8 @@ func (s *BackendServer) Stats() BackendStats {
 		Name:          s.cfg.Name,
 		TMS:           time.Now().UnixMilli(),
 		UptimeSec:     time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		LastFaultMS:   s.lastFaultMS.Load(),
 		Requests:      s.Requests.Load(),
 		Dropped:       s.Failed.Load(),
 		Errored:       s.Errored.Load(),
@@ -310,24 +409,31 @@ func (s *BackendServer) appendAck(dst []byte, seq uint64) []byte {
 	return append(dst, '}')
 }
 
-// clenKey is the header name the backend frames on.
-var clenKey = []byte("Content-Length")
+// clenKey is the header name the backend frames on; traceKey is the
+// distributed-trace context it additionally captures.
+var (
+	clenKey  = []byte("Content-Length")
+	traceKey = []byte(dtrace.Header)
+)
 
 // frameRequest frames one HTTP/1.1 request off the wire (header block to
 // the blank line, then Content-Length body bytes). Header lines are
 // scanned as buffered-reader views — no per-line allocation — and the
 // request line is copied into buf, whose grown backing the caller hands
 // back on the next call so the keep-alive stream settles into zero
-// framing allocations. The body is normally thrown away — the backend's
-// job is to terminate the hop, not to re-process XML the gateway already
-// handled — except when the capture predicate claims the request (the
-// /fault control plane), in which case the body is read into memory and
-// returned non-nil. Returns the request line (valid until the next call
-// reuses buf), the captured body (nil when discarded), and the wire size.
-func frameRequest(br *bufio.Reader, buf []byte, capture func(reqLine []byte, clen int) bool) ([]byte, []byte, int, error) {
+// framing allocations; an X-AON-Trace header value is likewise copied
+// into trbuf (empty when the request carried none). The body is
+// normally thrown away — the backend's job is to terminate the hop, not
+// to re-process XML the gateway already handled — except when the
+// capture predicate claims the request (the /fault control plane), in
+// which case the body is read into memory and returned non-nil. Returns
+// the request line (valid until the next call reuses buf), the captured
+// body (nil when discarded), the trace value, and the wire size.
+func frameRequest(br *bufio.Reader, buf, trbuf []byte, capture func(reqLine []byte, clen int) bool) (reqLineOut, bodyOut, traceOut []byte, size int, err error) {
 	total := 0
 	clen := 0
 	reqLine := buf[:0]
+	trv := trbuf[:0]
 	sawReqLine := false
 	for {
 		line, err := br.ReadSlice('\n')
@@ -341,7 +447,7 @@ func frameRequest(br *bufio.Reader, buf []byte, capture func(reqLine []byte, cle
 				line, err = br.ReadSlice('\n')
 				reqLine = append(reqLine, line...)
 				if total+len(reqLine)-keep > 64<<10 {
-					return nil, nil, 0, errors.New("backend: header block too large")
+					return nil, nil, nil, 0, errors.New("backend: header block too large")
 				}
 			}
 			line = reqLine[keep:]
@@ -349,13 +455,13 @@ func frameRequest(br *bufio.Reader, buf []byte, capture func(reqLine []byte, cle
 		}
 		if err != nil {
 			if err == io.EOF && total == 0 && len(line) == 0 {
-				return nil, nil, 0, io.EOF
+				return nil, nil, nil, 0, io.EOF
 			}
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		total += len(line)
 		if total > 64<<10 {
-			return nil, nil, 0, errors.New("backend: header block too large")
+			return nil, nil, nil, 0, errors.New("backend: header block too large")
 		}
 		trimmed := bytes.TrimRight(line, "\r\n")
 		if len(trimmed) == 0 {
@@ -370,12 +476,17 @@ func frameRequest(br *bufio.Reader, buf []byte, capture func(reqLine []byte, cle
 			reqLine = append(reqLine[:0], trimmed...)
 		}
 		if i := bytes.IndexByte(trimmed, ':'); i > 0 {
-			if bytes.EqualFold(bytes.TrimSpace(trimmed[:i]), clenKey) {
+			name := bytes.TrimSpace(trimmed[:i])
+			if bytes.EqualFold(name, clenKey) {
 				n, ok := parseClen(bytes.TrimSpace(trimmed[i+1:]))
 				if !ok || n < 0 {
-					return nil, nil, 0, errors.New("backend: bad Content-Length")
+					return nil, nil, nil, 0, errors.New("backend: bad Content-Length")
 				}
 				clen = n
+			} else if bytes.EqualFold(name, traceKey) {
+				// Copy the value out of the reader's window: the view dies
+				// on the next ReadSlice fill, the span outlives the frame.
+				trv = append(trv[:0], bytes.TrimSpace(trimmed[i+1:])...)
 			}
 		}
 	}
@@ -383,16 +494,16 @@ func frameRequest(br *bufio.Reader, buf []byte, capture func(reqLine []byte, cle
 	if capture != nil && capture(reqLine, clen) {
 		body = make([]byte, clen)
 		if _, err := io.ReadFull(br, body); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		total += clen
 	} else if clen > 0 {
 		if _, err := io.CopyN(io.Discard, br, int64(clen)); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		total += clen
 	}
-	return reqLine, body, total, nil
+	return reqLine, body, trv, total, nil
 }
 
 // parseClen is an allocation-free strconv.Atoi over the small integers

@@ -44,8 +44,11 @@ type FaultState struct {
 }
 
 // ApplyFault folds a fault spec into the runtime state and returns the
-// resulting state.
+// resulting state. The application is timestamped into /stats
+// (last_fault_unix_ms) so a post-mortem can tell from the backend side
+// when a storm step actually landed.
 func (s *BackendServer) ApplyFault(spec FaultSpec) FaultState {
+	s.lastFaultMS.Store(time.Now().UnixMilli())
 	if spec.Clear {
 		s.failNext.Store(0)
 		s.errRateBits.Store(0)
